@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments report examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro run all
+
+report:
+	$(PYTHON) -m repro report --output experiments_report.md
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+all: test bench

@@ -1,0 +1,31 @@
+"""Benchmarks E05, E06, E15: the COGCOMP experiments."""
+
+from __future__ import annotations
+
+from repro.experiments import get
+
+
+def test_e05_cogcomp_scaling(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E05").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Phase four stays within a constant multiple of 3n slots.
+    assert all(ratio < 3.0 for ratio in table.column("phase4/3n"))
+
+
+def test_e06_aggregation_head_to_head(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E06").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(speedup > 0.5 for speedup in table.column("speedup"))
+
+
+def test_e15_aggregation_lower_bound(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E15").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Phase four respects the Omega(n/k) bound in every row.
+    assert all(table.column(">= bound"))

@@ -1,0 +1,47 @@
+"""Benchmarks E01–E04: the COGCAST experiments and the broadcast baseline.
+
+Each benchmark regenerates its experiment table in fast mode; the timed
+quantity is the full sweep (workload generation + simulation + fits).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import get
+
+
+def test_e01_cogcast_scaling_n(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E01").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert table.rows
+
+
+def test_e02_cogcast_large_c(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E02").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Reproduction check: quadratic growth in c — the last row's mean is
+    # far above a linear extrapolation of the first.
+    means = table.column("mean slots")
+    assert means[-1] > 2.5 * means[0]
+
+
+def test_e03_cogcast_k_sweep(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E03").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Inverse dependence on k: larger overlap, faster completion.
+    means = table.column("mean slots")
+    assert means == sorted(means, reverse=True)
+
+
+def test_e04_broadcast_head_to_head(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E04").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The paper's winner wins every row.
+    assert all(speedup > 1.0 for speedup in table.column("speedup"))

@@ -1,0 +1,130 @@
+"""Benchmarks E17–E20: the extension experiments
+(fault tolerance, message overhead, the Theorem 18 transform,
+seed-exchange rendezvous)."""
+
+from __future__ import annotations
+
+from repro.experiments import get
+
+
+def test_e17_fault_tolerance(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E17").run(trials=5, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Faults slow things down but never below half speed of 4x baseline.
+    baseline = table.rows[0][4]
+    assert all(row[4] < 8 * baseline for row in table.rows)
+
+
+def test_e18_message_overhead(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E18").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Associative aggregators stay constant; collect exceeds them.
+    assert len(set(table.column("sum bits"))) == 1
+    assert len(set(table.column("count bits"))) == 1
+    for row_sum, row_collect in zip(table.column("sum bits"), table.column("collect bits")):
+        assert row_collect > row_sum
+
+
+def test_e19_jamming_equivalence(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E19").run(trials=5, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Both sides completed every cell (failures raise inside the runner).
+    assert all(row[4] > 0 and row[5] > 0 for row in table.rows)
+
+
+def test_e20_seeded_rendezvous(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E20").run(trials=10, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Post-swap meetings are every-slot, the footnote's punchline.
+    assert all(gap == 1.0 for gap in table.column("post-swap gaps"))
+
+
+def test_e21_determinism_tradeoff(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E21").run(trials=30, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The deterministic guarantee holds on every instance.
+    for det_max, guarantee in zip(table.column("det max"), table.column("c^2 guarantee")):
+        assert det_max <= guarantee
+
+
+def test_e22_adversarial_search(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E22").run(seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(table.column("within budget"))
+
+
+def test_e23_stack_composition(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E23").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The expanded stack tracks the ideal model closely.
+    assert all(0.5 <= ratio <= 2.0 for ratio in table.column("exp/ideal"))
+
+
+def test_e24_collision_ablation(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E24").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(0.4 <= ratio <= 2.5 for ratio in table.column("cast ratio"))
+
+
+def test_e25_epidemic_stages(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E25").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Stage one is genuinely multiplicative and a minority of the run.
+    assert all(growth > 1.2 for growth in table.column("growth/slot"))
+    assert all(frac < 0.8 for frac in table.column("stage1 frac"))
+
+
+def test_e26_whitespace_worlds(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E26").run(trials=5, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(
+        p == "-" or p >= 0.8 for p in table.column("P(within budget)")
+    )
+
+
+def test_e27_gossip_scaling(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E27").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The extension's finding: naive concurrent gossip loses for m >= 2.
+    assert table.column("seq/gossip")[-1] < 1.0
+
+
+def test_e28_staggered_activation(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E28").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The post-window overhead never exceeds ~2x the baseline.
+    assert all(ratio <= 2.0 for ratio in table.column("(slots-W)/base"))
+
+
+def test_e29_tree_shape(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E29").run(trials=2, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Theorem 10's accounting identity holds in every row.
+    for ki, bound in zip(table.column("sum k_i"), table.column("n - 1")):
+        assert ki <= bound

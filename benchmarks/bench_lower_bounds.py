@@ -1,0 +1,39 @@
+"""Benchmarks E07–E10: hitting games, the reduction, the global-label bound."""
+
+from __future__ import annotations
+
+from repro.experiments import get
+
+
+def test_e07_bipartite_hitting(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E07").run(trials=15, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(table.column("bound holds"))
+
+
+def test_e08_complete_hitting(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E08").run(trials=15, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(table.column("bound holds"))
+
+
+def test_e09_reduction(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E09").run(trials=8, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(table.column("game ok"))
+    assert all(table.column("slots ok"))
+
+
+def test_e10_global_label_bound(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E10").run(trials=100, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The optimal scan sits within 15% of the exact expectation.
+    assert all(0.85 < ratio < 1.15 for ratio in table.column("scan/exact"))

@@ -1,0 +1,42 @@
+"""Benchmarks E11–E14: the discussion-section experiments
+(hopping-together crossover, overlap patterns, dynamics, jamming)."""
+
+from __future__ import annotations
+
+from repro.experiments import get
+
+
+def test_e11_hopping_vs_cogcast(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E11").run(trials=3, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # The paper's crossover: hopping wins on this instance, clearly.
+    assert all(ratio > 2.0 for ratio in table.column("cogcast/hopping"))
+
+
+def test_e12_overlap_patterns(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E12").run(trials=4, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Same (n, c, k) => completion times within a small constant.
+    assert all(spread < 6.0 for spread in table.column("max/min"))
+
+
+def test_e13_dynamic_channels(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E13").run(trials=4, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Dynamic churn neither breaks nor much slows COGCAST.
+    assert all(0.2 < ratio < 4.0 for ratio in table.column("dyn/static"))
+
+
+def test_e14_jamming(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E14").run(trials=4, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    # Every cell completed (non-completion would have raised inside).
+    assert table.rows

@@ -1,0 +1,84 @@
+"""Benchmark E16 plus raw simulator micro-benchmarks.
+
+The micro-benchmarks time the substrate itself (slots/second at several
+network shapes), so simulator regressions show up even when experiment
+tables stay correct.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment import shared_core
+from repro.core import CogCast, SumAggregator, run_data_aggregation
+from repro.experiments import get
+from repro.sim import Network, build_engine
+
+
+def test_e16_decay_backoff(benchmark, show_table):
+    table = benchmark.pedantic(
+        lambda: get("E16").run(trials=40, seed=0, fast=True), rounds=1, iterations=1
+    )
+    show_table(table)
+    assert all(p > 0.8 for p in table.column("P(within budget)"))
+
+
+def _engine_for(n: int, c: int, k: int, seed: int = 0):
+    rng = random.Random(seed)
+    network = Network.static(
+        shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+
+    def factory(view):
+        return CogCast(view, is_source=(view.node_id == 0))
+
+    return build_engine(network, factory, seed=seed)
+
+
+def test_engine_throughput_small(benchmark):
+    """100 slots of a 16-node / 8-channel COGCAST network."""
+
+    def run():
+        engine = _engine_for(16, 8, 2)
+        for _ in range(100):
+            engine.step()
+
+    benchmark(run)
+
+
+def test_engine_throughput_large(benchmark):
+    """100 slots of a 256-node / 32-channel COGCAST network."""
+
+    def run():
+        engine = _engine_for(256, 32, 4)
+        for _ in range(100):
+            engine.step()
+
+    benchmark(run)
+
+
+def test_cogcomp_end_to_end_kernel(benchmark):
+    """One full COGCOMP aggregation (n=32), the heaviest single kernel."""
+    rng = random.Random(1)
+    network = Network.static(
+        shared_core(32, 8, 2, rng).shuffled_labels(rng), validate=False
+    )
+    values = [float(node) for node in range(32)]
+
+    def run():
+        result = run_data_aggregation(
+            network, values, seed=7, aggregator=SumAggregator()
+        )
+        assert result.completed
+
+    benchmark(run)
+
+
+def test_assignment_generation_kernel(benchmark):
+    """Generating + validating a 128-node shared-core assignment."""
+
+    def run():
+        rng = random.Random(3)
+        shared_core(128, 16, 4, rng).shuffled_labels(rng).validate()
+
+    benchmark(run)

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark wraps one experiment's table generation (fast-mode sweep)
+so ``pytest benchmarks/ --benchmark-only`` both times the reproduction
+kernels and regenerates every table.  Run with ``-s`` to see the tables
+inline; EXPERIMENTS.md records the full-size (non-fast) numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Print a rendered experiment table around pytest's capture."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            print()
+            print(table.render())
+
+    return _show

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: broadcast while primary users churn the spectrum every slot.
+
+The discussion in Section 4: COGCAST needs no static assignment — as
+long as each pair of nodes shares at least k channels *in each slot*,
+the epidemic spreads on schedule.  Here the entire channel map is
+re-drawn every slot (primary users arriving and departing), which would
+break any algorithm relying on schedules or learned channel sets.
+
+The example also demonstrates Theorem 17's flip side: with k < c there
+is no *guaranteed* finite completion — so we report the empirical
+distribution over many runs instead of a single number.
+
+Run:  python examples/dynamic_spectrum.py
+"""
+
+from __future__ import annotations
+
+from repro import assignment, core, sim
+from repro.analysis import cogcast_slot_bound, summarize
+
+
+def main() -> None:
+    n, c, k = 40, 10, 2
+    print(f"dynamic spectrum: n={n}, c={c}, k={k}; "
+          "full channel re-assignment every slot\n")
+
+    slots_dynamic: list[int] = []
+    slots_static: list[int] = []
+    for seed in range(25):
+        schedule = assignment.dynamic_shared_core_schedule(n, c, k, seed)
+        dynamic_network = sim.Network(schedule)
+        result = core.run_local_broadcast(
+            dynamic_network, source=0, seed=seed, max_slots=100_000,
+            require_completion=True,
+        )
+        slots_dynamic.append(result.slots)
+
+        static_network = sim.Network.static(schedule.at(0), validate=False)
+        result = core.run_local_broadcast(
+            static_network, source=0, seed=seed, max_slots=100_000,
+            require_completion=True,
+        )
+        slots_static.append(result.slots)
+
+    print("completion slots over 25 runs:")
+    print(f"  static  assignment: {summarize(slots_static)}")
+    print(f"  dynamic assignment: {summarize(slots_dynamic)}")
+    print(f"  Theorem 4 budget  : {cogcast_slot_bound(n, c, k)} slots")
+    print("\nCOGCAST never consults history, so per-slot churn does not\n"
+          "hurt it — the same Theorem 4 guarantee holds (Section 4\n"
+          "discussion), while any schedule-based protocol would stall.")
+
+
+if __name__ == "__main__":
+    main()

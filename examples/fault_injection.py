@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fault injection: COGCAST's robustness claim, demonstrated.
+
+Section 1 argues the epidemic structure "can gracefully handle changes
+to the network conditions, temporary faults, and so on" precisely
+because every node does the same thing every slot.  This example
+injects increasingly severe faults into one broadcast and watches the
+completion time degrade — smoothly, never catastrophically:
+
+- sleepers: nodes whose radios go dark for a window mid-broadcast;
+- crashers: nodes that die early and stay dead;
+- a flaky source: the source itself sleeps through a window.
+
+Run:  python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro import assignment
+from repro.core import CogCast
+from repro.sim import (
+    CrashFault,
+    Engine,
+    Network,
+    OutageFault,
+    make_views,
+    with_faults,
+)
+
+
+def run_with_plan(network: Network, plan: dict, seed: int, goal_nodes) -> int:
+    views = make_views(network, seed)
+    protocols = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+    wrapped = with_faults(protocols, plan)
+    engine = Engine(network, wrapped, seed=seed)
+    result = engine.run(
+        100_000,
+        stop_when=lambda _: all(protocols[node].informed for node in goal_nodes),
+    )
+    assert result.completed
+    return result.slots
+
+
+def main() -> None:
+    n, c, k = 32, 8, 2
+    trials = 15
+    rng = random.Random(0)
+    network = Network.static(
+        assignment.shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+    everyone = list(range(n))
+
+    def mean_slots(plan_builder, goal=lambda victims: everyone) -> float:
+        samples = []
+        for seed in range(trials):
+            fault_rng = random.Random(1000 + seed)
+            plan, victims = plan_builder(fault_rng)
+            samples.append(run_with_plan(network, plan, seed, goal(victims)))
+        return statistics.mean(samples)
+
+    print(f"COGCAST, n={n}, c={c}, k={k}; mean completion over {trials} runs\n")
+
+    baseline = mean_slots(lambda r: ({}, []))
+    print(f"  no faults                          : {baseline:6.1f} slots")
+
+    def sleepers(r):
+        victims = r.sample(range(1, n), 8)
+        plan = {
+            v: [OutageFault(((r.randrange(0, 20), r.randrange(20, 60)),))]
+            for v in victims
+        }
+        return plan, victims
+
+    print(f"  8 nodes sleep through random window: {mean_slots(sleepers):6.1f} slots")
+
+    def crashers(r):
+        victims = r.sample(range(1, n), 8)
+        plan = {v: [CrashFault(r.randrange(2, 15))] for v in victims}
+        return plan, victims
+
+    crash_mean = mean_slots(
+        crashers, goal=lambda victims: [x for x in everyone if x not in victims]
+    )
+    print(f"  8 nodes crash early (survivors)    : {crash_mean:6.1f} slots")
+
+    def flaky_source(r):
+        return {0: [OutageFault(((2, 25),))]}, []
+
+    print(f"  source sleeps slots 2-24           : {mean_slots(flaky_source):6.1f} slots")
+
+    print("\nthe epidemic re-forms around any of these: informed survivors\n"
+          "keep broadcasting, so coverage always completes.")
+
+
+if __name__ == "__main__":
+    main()

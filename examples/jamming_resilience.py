@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scenario: broadcast through an n-uniform jamming adversary (Theorem 18).
+
+A multi-channel network faces a jammer that can silence up to k'
+channels *per node, per slot* — the strongest (n-uniform) adversary in
+the paper's taxonomy.  Theorem 18 reduces this to the dynamic cognitive
+radio model with pairwise overlap c - 2k', so COGCAST keeps its
+guarantee as long as k' < c/2.
+
+The example sweeps the jamming budget across three jammer archetypes
+and shows completion time degrading smoothly — and broadcast failing
+only when the budget reaches c (the jammer can blanket every channel).
+
+Run:  python examples/jamming_resilience.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import assignment, core, sim
+
+
+def run_under_jammer(c: int, n: int, budget: int, kind: str, seed: int) -> int | None:
+    """Completion slots, or None if the broadcast failed to finish."""
+    plan = assignment.identical(n, c)
+    rng = random.Random(seed)
+    network = sim.Network.static(plan.shuffled_labels(rng), validate=False)
+    universe = sorted(plan.universe)
+    jammer: sim.Jammer | None
+    if budget == 0:
+        jammer = None
+    elif kind == "random":
+        jammer = sim.RandomJammer(universe, budget, random.Random(seed + 1))
+    elif kind == "sweep":
+        jammer = sim.SweepJammer(universe, budget)
+    else:
+        targets = {
+            node: frozenset(random.Random(seed + 2 + node).sample(universe, budget))
+            for node in range(n)
+        }
+        jammer = sim.TargetedJammer(targets)
+    result = core.run_local_broadcast(
+        network, source=0, seed=seed, max_slots=3_000, jammer=jammer,
+    )
+    return result.slots if result.completed else None
+
+
+def main() -> None:
+    n, c = 24, 12
+    trials = 5
+    print(f"jamming resilience: n={n} nodes, c={c} channels, "
+          f"n-uniform jammer with budget k' per node per slot\n")
+    print(f"{'budget':>6}  {'c-2k_':>6}  {'random':>10}  {'sweep':>10}  {'targeted':>10}")
+    for budget in [0, 2, 4, 5, c]:
+        cells = []
+        for kind in ("random", "sweep", "targeted"):
+            finished = [
+                run_under_jammer(c, n, budget, kind, seed)
+                for seed in range(trials)
+            ]
+            done = [s for s in finished if s is not None]
+            if len(done) == trials:
+                cells.append(f"{sum(done) / len(done):8.1f}")
+            else:
+                cells.append(f"fail {trials - len(done)}/{trials}")
+        effective = c - 2 * budget
+        print(f"{budget:>6}  {effective:>6}  "
+              f"{cells[0]:>10}  {cells[1]:>10}  {cells[2]:>10}")
+    print("\nmean completion slots (or failure count); budget = c blankets\n"
+          "the whole band, so nothing can get through — exactly the k' < c/2\n"
+          "threshold Theorem 18 needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Footnote 1 in action: randomized rendezvous with seed exchange.
+
+The rendezvous literature prefers determinism partly because, once two
+nodes meet, deterministic schedules let them predict each other
+forever.  Footnote 1 counters that randomized nodes can simply swap
+PRNG seeds at the first meeting — after which they rendezvous every
+slot.  This example measures inter-meeting gaps with and without the
+swap, and compares the deterministic stay-and-scan scheme's guarantee.
+
+Run:  python examples/repeated_rendezvous.py
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import rendezvous_expected_slots
+from repro.baselines import repeated_rendezvous_gaps, stay_and_scan_pairwise
+
+
+def main() -> None:
+    c, k = 16, 4
+    trials = 200
+    print(f"pairwise rendezvous, c={c}, k={k}; "
+          f"theory: first meeting ~ c^2/k = {rendezvous_expected_slots(c, k):.0f} slots\n")
+
+    with_swap = [
+        repeated_rendezvous_gaps(c, k, seed, meetings=5, exchange_seeds=True)
+        for seed in range(trials)
+    ]
+    without = [
+        repeated_rendezvous_gaps(c, k, seed, meetings=5, exchange_seeds=False)
+        for seed in range(trials)
+    ]
+    deterministic = [
+        stay_and_scan_pairwise(c, k, random.Random(seed)) for seed in range(trials)
+    ]
+
+    first = statistics.mean(gaps[0] for gaps in with_swap)
+    later_swap = statistics.mean(g for gaps in with_swap for g in gaps[1:])
+    later_memoryless = statistics.mean(g for gaps in without for g in gaps[1:])
+
+    print("randomized + seed exchange (footnote 1):")
+    print(f"  first meeting : {first:7.1f} slots (the one-time search)")
+    print(f"  later meetings: {later_swap:7.2f} slots each (deterministic after swap)")
+    print("randomized, memoryless:")
+    print(f"  later meetings: {later_memoryless:7.1f} slots each (pays the search every time)")
+    print("deterministic stay-and-scan:")
+    print(f"  first meeting : {statistics.mean(deterministic):7.1f} slots mean, "
+          f"{max(deterministic)} worst (guarantee: {c * c})")
+    print("\nconclusion: randomization matches determinism on repeat meetings\n"
+          "after one seed swap, while keeping the k-fold faster search.")
+
+
+if __name__ == "__main__":
+    main()

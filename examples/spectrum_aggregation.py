@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scenario: TV-whitespace sensor fleet computing a quality-of-service snapshot.
+
+The paper's motivating use case for data aggregation: "analyzing network
+condition snapshots to calculate a quality of service metric".  A fleet
+of secondary-user devices shares leftover TV-band spectrum; each device
+holds a noisy local measurement (interference level, in dB) and the
+gateway wants network-wide statistics.
+
+This example runs COGCOMP three times with different associative
+aggregators — max, mean (as a sum/count pair), and a full collect for
+verification — and compares the slot cost against the rendezvous
+baseline the paper's introduction dismisses.
+
+Run:  python examples/spectrum_aggregation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import assignment, core, sim
+from repro.baselines import run_rendezvous_aggregation
+
+
+def main() -> None:
+    n, c, k = 48, 12, 3
+    seed = 7
+
+    rng = random.Random(seed)
+    plan = assignment.random_with_core(n, c, k, rng, universe_size=60)
+    network = sim.Network.static(plan.shuffled_labels(rng))
+    print(f"whitespace fleet: {n} devices, {c} usable channels each, "
+          f"overlap guarantee k={k}")
+
+    # Synthetic interference readings: a quiet band with two hot spots.
+    readings = [rng.gauss(-95.0, 3.0) for _ in range(n)]
+    readings[17] = -61.5  # microphone user near device 17
+    readings[33] = -64.2  # another primary-user transient
+    print(f"ground truth: max={max(readings):.1f} dB, "
+          f"mean={sum(readings) / n:.1f} dB\n")
+
+    # -- Worst interference anywhere (max) ---------------------------------
+    worst = core.run_data_aggregation(
+        network, readings, source=0, seed=seed,
+        aggregator=core.MaxAggregator(),
+    )
+    assert worst.completed
+    print(f"COGCOMP max : {worst.value:.1f} dB in {worst.total_slots} slots")
+
+    # -- Fleet-average interference (mean via associative carrier) ---------
+    mean_agg = core.MeanAggregator()
+    average = core.run_data_aggregation(
+        network, readings, source=0, seed=seed + 1, aggregator=mean_agg,
+    )
+    assert average.completed
+    print(f"COGCOMP mean: {mean_agg.finalize(average.value):.1f} dB "
+          f"in {average.total_slots} slots")
+
+    # -- Full snapshot (collect) — exact verification -----------------------
+    snapshot = core.run_data_aggregation(
+        network, readings, source=0, seed=seed + 2,
+        aggregator=core.CollectAggregator(),
+    )
+    assert snapshot.completed
+    assert snapshot.value == {node: readings[node] for node in range(n)}
+    print(f"COGCOMP collect: all {len(snapshot.value)} readings delivered "
+          f"in {snapshot.total_slots} slots")
+
+    # -- The baseline the paper's introduction dismisses --------------------
+    baseline = run_rendezvous_aggregation(
+        network, readings, source=0, seed=seed, max_slots=2_000_000,
+    )
+    print(f"\nrendezvous baseline: {baseline.slots} slots "
+          f"({baseline.slots / snapshot.total_slots:.1f}x slower than COGCOMP)")
+
+
+if __name__ == "__main__":
+    main()

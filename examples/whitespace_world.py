@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""From TV towers to theorems: a whitespace deployment end to end.
+
+The paper's introduction motivates cognitive radio with secondary users
+scavenging leftover TV-band spectrum.  This example builds that world
+literally — licensed transmitters with protection radii, a clustered
+fleet of secondary devices — derives each device's channel set from
+geography, measures the *emergent* (c, k), and then runs both of the
+paper's algorithms on the derived network, including under primary-user
+churn (microphones switching on and off).
+
+Run:  python examples/whitespace_world.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import core, sim
+from repro.analysis import cogcast_slot_bound
+from repro.assignment import summarize
+from repro.spectrum import churning_schedule, min_overlap_over, random_world
+
+
+def main() -> None:
+    rng = random.Random(2015)
+    world = random_world(
+        num_channels=24,
+        num_primaries=10,
+        num_secondaries=20,
+        area=120.0,
+        primary_radius=35.0,
+        rng=rng,
+        cluster_radius=30.0,
+    )
+    print(f"world: {len(world.primaries)} primaries on a 24-channel band, "
+          f"{len(world.secondaries)} secondary devices\n")
+
+    # -- Derive the algorithmic model from geography ------------------------
+    plan = world.to_assignment().shuffled_labels(rng)
+    summary = summarize(plan)
+    print("derived network (availability from primary coverage):")
+    print(f"  c (channels per device)  : {summary.channels_per_node}")
+    print(f"  emergent pairwise overlap: k = {summary.min_overlap} "
+          f"(mean {summary.mean_overlap:.1f}, max {summary.max_overlap})")
+    print(f"  channels shared by all   : {summary.shared_by_all}\n")
+
+    network = sim.Network.static(plan, validate=False)
+    n, c, k = summary.num_nodes, summary.channels_per_node, summary.min_overlap
+    budget = cogcast_slot_bound(n, c, k)
+
+    # -- Broadcast and aggregate on the derived network ----------------------
+    broadcast = core.run_local_broadcast(network, seed=1, max_slots=budget)
+    print(f"COGCAST: completed={broadcast.completed} in {broadcast.slots} slots "
+          f"(Theorem 4 budget at measured k: {budget})")
+
+    readings = [rng.gauss(-90.0, 4.0) for _ in range(n)]
+    agg = core.run_data_aggregation(
+        network, readings, seed=2, aggregator=core.MaxAggregator()
+    )
+    print(f"COGCOMP: worst interference {agg.value:.1f} dB "
+          f"in {agg.total_slots} slots\n")
+
+    # -- Primary-user churn: the dynamic model, physically motivated --------
+    schedule = churning_schedule(world, seed=3, off_probability=0.25)
+    effective_k = min_overlap_over(schedule, 40)
+    dynamic = core.run_local_broadcast(sim.Network(schedule), seed=3, max_slots=10_000)
+    print("with per-slot primary churn (25% off-probability):")
+    print(f"  effective k over 40 slots: {effective_k}")
+    print(f"  COGCAST completed={dynamic.completed} in {dynamic.slots} slots")
+    print("\nthe same code path the theorems analyse, fed from geography\n"
+          "instead of hand-built channel sets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` works in offline environments whose setuptools
+lacks the PEP 660 editable-wheel path (it falls back to the legacy
+``setup.py develop`` route, which needs this stub).
+"""
+
+from setuptools import setup
+
+setup()

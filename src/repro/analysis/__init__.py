@@ -1,0 +1,77 @@
+"""Analysis utilities: closed-form bounds, trial statistics, scaling fits."""
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci, speedup_ci
+from repro.analysis.curves import ascii_curve, histogram, sparkline
+from repro.analysis.distributions import (
+    Ecdf,
+    GeometricFit,
+    fit_geometric,
+    tail_at_multiples,
+)
+from repro.analysis.fitting import (
+    LinearFit,
+    fit_linear,
+    fit_proportional,
+    ratio_stability,
+)
+from repro.analysis.stats import (
+    Summary,
+    geometric_mean,
+    mean_confidence_interval,
+    percentile,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.theory import (
+    aggregation_lower_bound,
+    bipartite_hitting_lower_bound,
+    broadcast_lower_bound_global_labels,
+    broadcast_lower_bound_local_labels,
+    cogcast_slot_bound,
+    cogcomp_slot_bound,
+    complete_hitting_lower_bound,
+    decay_backoff_bound,
+    hopping_together_expected_slots,
+    lg,
+    rendezvous_aggregation_bound,
+    rendezvous_broadcast_bound,
+    rendezvous_expected_slots,
+)
+
+__all__ = [
+    "BootstrapCI",
+    "Ecdf",
+    "GeometricFit",
+    "LinearFit",
+    "Summary",
+    "ascii_curve",
+    "bootstrap_ci",
+    "fit_geometric",
+    "histogram",
+    "sparkline",
+    "speedup_ci",
+    "tail_at_multiples",
+    "aggregation_lower_bound",
+    "bipartite_hitting_lower_bound",
+    "broadcast_lower_bound_global_labels",
+    "broadcast_lower_bound_local_labels",
+    "cogcast_slot_bound",
+    "cogcomp_slot_bound",
+    "complete_hitting_lower_bound",
+    "decay_backoff_bound",
+    "fit_linear",
+    "fit_proportional",
+    "geometric_mean",
+    "hopping_together_expected_slots",
+    "lg",
+    "mean_confidence_interval",
+    "percentile",
+    "ratio_stability",
+    "rendezvous_aggregation_bound",
+    "rendezvous_broadcast_bound",
+    "rendezvous_expected_slots",
+    "success_rate",
+    "summarize",
+    "wilson_interval",
+]

@@ -1,0 +1,96 @@
+"""Terminal-friendly curve rendering for experiment output.
+
+The paper has no figures, but several of its phenomena are curves —
+the epidemic growth of COGCAST, backoff success probability, tail
+decay.  These helpers render such series as aligned ASCII, so examples
+and reports can *show* a shape without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_curve(
+    points: Sequence[tuple[float, float]],
+    *,
+    width: int = 50,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render (x, y) points as a horizontal bar chart, one row per point.
+
+    Bars are scaled to the maximum y; each row shows the x value, the
+    bar, and the numeric y.  Intended for monotone-ish series of up to
+    a few dozen points.
+    """
+    if not points:
+        raise ValueError("no points to render")
+    if width < 1:
+        raise ValueError("width must be positive")
+    max_y = max(y for _, y in points)
+    scale = width / max_y if max_y > 0 else 0.0
+    x_width = max(len(_fmt(x)) for x, _ in points)
+    x_width = max(x_width, len(x_label))
+    lines = [f"{x_label.rjust(x_width)} | {y_label}"]
+    for x, y in points:
+        bar = "#" * max(0, round(y * scale))
+        lines.append(f"{_fmt(x).rjust(x_width)} | {bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline using eighth-block characters.
+
+    Scales to the min/max of the series; constant series render as a
+    mid-level line.
+    """
+    if not values:
+        raise ValueError("no values to render")
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return blocks[3] * len(values)
+    span = high - low
+    out = []
+    for value in values:
+        index = int((value - low) / span * (len(blocks) - 1))
+        out.append(blocks[index])
+    return "".join(out)
+
+
+def histogram(
+    samples: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """An ASCII histogram of a sample, equal-width bins."""
+    if not samples:
+        raise ValueError("no samples to render")
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    low = min(samples)
+    high = max(samples)
+    if high == low:
+        return f"[{_fmt(low)}] {'#' * width} {len(samples)}"
+    bin_width = (high - low) / bins
+    counts = [0] * bins
+    for sample in samples:
+        index = min(bins - 1, int((sample - low) / bin_width))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        start = low + index * bin_width
+        end = start + bin_width
+        bar = "#" * max(0, round(count / peak * width))
+        lines.append(f"[{_fmt(start)}, {_fmt(end)}) {bar} {count}")
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"

@@ -1,0 +1,101 @@
+"""Empirical distribution tools for completion-time analysis.
+
+The paper's statements are about tails ("with high probability") and
+expectations; these helpers let experiments and users interrogate both:
+ECDFs, tail probabilities, and a geometric-distribution fit (the
+natural model for "first success" quantities like rendezvous and the
+Theorem 16 first-landing slot).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical cumulative distribution function over a sample."""
+
+    sorted_samples: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Ecdf":
+        if not samples:
+            raise ValueError("empty sample")
+        return cls(tuple(sorted(float(x) for x in samples)))
+
+    def __call__(self, x: float) -> float:
+        """P(X <= x) under the empirical measure."""
+        return bisect_right(self.sorted_samples, x) / len(self.sorted_samples)
+
+    def tail(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self(x)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value with ECDF >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1]")
+        index = math.ceil(q * len(self.sorted_samples)) - 1
+        return self.sorted_samples[max(0, index)]
+
+    def support(self) -> tuple[float, float]:
+        return (self.sorted_samples[0], self.sorted_samples[-1])
+
+
+@dataclass(frozen=True, slots=True)
+class GeometricFit:
+    """A geometric model ``P(X = t) = p (1-p)^{t-1}`` fitted to a sample.
+
+    ``p`` is the per-slot success probability; ``mean`` is ``1/p``.
+    ``ks_distance`` is the Kolmogorov–Smirnov statistic between the
+    fitted CDF and the ECDF — small values mean the "memoryless first
+    success" story fits (as it should for uniform-hopping rendezvous).
+    """
+
+    p: float
+    ks_distance: float
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self.p
+
+    def cdf(self, t: float) -> float:
+        if t < 1:
+            return 0.0
+        return 1.0 - (1.0 - self.p) ** math.floor(t)
+
+
+def fit_geometric(samples: Sequence[float]) -> GeometricFit:
+    """Maximum-likelihood geometric fit (support starting at 1).
+
+    MLE: ``p = n / sum(samples)``.  Raises on non-positive samples.
+    """
+    if not samples:
+        raise ValueError("empty sample")
+    if any(x < 1 for x in samples):
+        raise ValueError("geometric samples must be >= 1")
+    p = len(samples) / sum(samples)
+    p = min(1.0, p)
+    ecdf = Ecdf.from_samples(samples)
+    distinct = sorted(set(ecdf.sorted_samples))
+    fit = GeometricFit(p=p, ks_distance=0.0)
+    ks = max(abs(ecdf(t) - fit.cdf(t)) for t in distinct)
+    return GeometricFit(p=p, ks_distance=ks)
+
+
+def tail_at_multiples(
+    samples: Sequence[float], base: float, multiples: Sequence[float]
+) -> list[tuple[float, float]]:
+    """``[(m, P(X > m * base))]`` — how fast the tail decays past a bound.
+
+    Used to quantify "w.h.p." claims: e.g. the fraction of COGCAST runs
+    exceeding 1x, 2x, 3x the Theorem 4 predictor.
+    """
+    if base <= 0:
+        raise ValueError("base must be positive")
+    ecdf = Ecdf.from_samples(samples)
+    return [(m, ecdf.tail(m * base)) for m in multiples]

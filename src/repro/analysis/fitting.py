@@ -1,0 +1,91 @@
+"""Scaling-law fits: does a measured curve track a predicted shape?
+
+The reproduction never expects to match the paper's hidden constants;
+what must hold is the *shape* — e.g. COGCAST's completion time growing
+linearly in ``(c/k) * max{1, c/n} * lg n``.  The helpers here fit
+``measured ~ a * predictor (+ b)`` by least squares and report the
+coefficient of determination, so every experiment can assert
+"linear in the predicted control parameter, R^2 >= threshold".
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """Result of a least-squares fit ``y ~ slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares with intercept.
+
+    Raises ``ValueError`` on degenerate input (fewer than two points or
+    zero variance in ``xs``).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    mean_x = statistics.fmean(xs)
+    mean_y = statistics.fmean(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("xs has zero variance")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def fit_proportional(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least squares through the origin: ``y ~ slope * x``.
+
+    The natural model when the predictor already carries the full
+    asymptotic shape (the intercept would only absorb noise).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 1:
+        raise ValueError("need at least one point")
+    sxx = sum(x * x for x in xs)
+    if sxx == 0:
+        raise ValueError("xs are all zero")
+    slope = sum(x * y for x, y in zip(xs, ys)) / sxx
+    mean_y = statistics.fmean(ys)
+    ss_res = sum((y - slope * x) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=0.0, r_squared=r_squared)
+
+
+def ratio_stability(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of variation of the per-point ratios ``y/x``.
+
+    A shape-match diagnostic that is robust when the sweep spans few
+    points: if ``y`` really is ``Theta(x)``, the ratios should be flat
+    (CV well below 1).
+    """
+    ratios = [y / x for x, y in zip(xs, ys) if x > 0]
+    if not ratios:
+        raise ValueError("no positive predictor values")
+    mean = statistics.fmean(ratios)
+    if mean == 0:
+        return math.inf
+    if len(ratios) == 1:
+        return 0.0
+    return statistics.stdev(ratios) / mean

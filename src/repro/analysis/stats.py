@@ -1,0 +1,126 @@
+"""Statistics over repeated randomized trials.
+
+The paper's guarantees are "with high probability" statements; the
+experiments estimate them by running many seeded trials and summarizing
+the sample.  Everything here is dependency-light (no numpy needed for
+the core path) so the library works in minimal environments; the
+heavier fitting code lives in :mod:`repro.analysis.fitting`.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-style summary of one measured quantity."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.2f} sd={self.stdev:.2f} "
+            f"min={self.minimum:.0f} p50={self.p50:.0f} p95={self.p95:.0f} "
+            f"max={self.maximum:.0f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summarize a non-empty sample."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(float(x) for x in samples)
+    return Summary(
+        count=len(ordered),
+        mean=statistics.fmean(ordered),
+        stdev=statistics.stdev(ordered) if len(ordered) > 1 else 0.0,
+        minimum=ordered[0],
+        p50=percentile(ordered, 0.50),
+        p95=percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    # a + f*(b - a) rather than a*(1-f) + b*f: exact when a == b, and
+    # monotone in f, so percentiles never invert by an ulp.
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], *, z: float = 1.96
+) -> tuple[float, float, float]:
+    """``(mean, low, high)`` normal-approximation confidence interval.
+
+    ``z`` defaults to the 95% two-sided quantile.  For one-sample
+    experiment rows this is plenty; no t-correction is applied since
+    trial counts are modest but the underlying quantities are bounded.
+    """
+    if not samples:
+        raise ValueError("empty sample")
+    mean = statistics.fmean(samples)
+    if len(samples) == 1:
+        return (mean, mean, mean)
+    half = z * statistics.stdev(samples) / math.sqrt(len(samples))
+    return (mean, mean - half, mean + half)
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of successful trials."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("empty sample")
+    return sum(outcomes) / len(outcomes)
+
+
+def wilson_interval(successes: int, trials: int, *, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a success probability.
+
+    Used to report w.h.p. claims honestly: "all 50/50 trials succeeded"
+    becomes a lower confidence bound rather than a bare 1.0.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes outside 0..trials")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of positive samples (for speedup ratios)."""
+    if not samples:
+        raise ValueError("empty sample")
+    if any(x <= 0 for x in samples):
+        raise ValueError("geometric mean requires positive samples")
+    return math.exp(statistics.fmean(math.log(x) for x in samples))

@@ -1,0 +1,117 @@
+"""Closed-form bounds from the paper, as executable formulas.
+
+Every experiment compares a measured quantity against one of these
+predictions.  Asymptotic bounds carry an explicit ``constant`` argument;
+the defaults were calibrated once against the simulator (see
+EXPERIMENTS.md) and give comfortable w.h.p. margins for the parameter
+ranges the experiments sweep.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lg(x: float) -> float:
+    """Base-2 logarithm clamped below at 1 (the paper's ``lg n`` factors
+    always multiply a running time, so a sub-1 value is never intended)."""
+    return max(1.0, math.log2(x))
+
+
+def cogcast_slot_bound(n: int, c: int, k: int, *, constant: float = 8.0) -> int:
+    """Theorem 4: COGCAST informs all nodes within
+    ``constant * (c/k) * max{1, c/n} * lg n`` slots w.h.p.
+
+    Used both as the experiment yardstick and as COGCOMP's phase-one
+    length ``l``.
+    """
+    if n < 1 or not 1 <= k <= c:
+        raise ValueError(f"invalid parameters n={n}, c={c}, k={k}")
+    bound = constant * (c / k) * max(1.0, c / n) * lg(n)
+    return max(1, math.ceil(bound))
+
+
+def cogcomp_slot_bound(n: int, c: int, k: int, *, constant: float = 8.0) -> int:
+    """Theorem 10: COGCOMP aggregates within
+    ``O((c/k) * max{1, c/n} * lg n + n)`` slots w.h.p.
+
+    The additive ``n`` term appears three times in the implementation
+    (phase two census, and phase four's O(n) steps of 3 slots), so the
+    concrete budget is ``2l + n + 3 * O(n)``; this helper returns the
+    asymptotic form for plotting, not the scheduling constant.
+    """
+    return cogcast_slot_bound(n, c, k, constant=constant) + max(1, n)
+
+
+def rendezvous_expected_slots(c: int, k: int) -> float:
+    """Uniform randomized rendezvous between two nodes meets in
+    ``c^2/k`` expected slots (Section 1): each slot both nodes land on a
+    common channel with probability ``k/c^2``."""
+    if not 1 <= k <= c:
+        raise ValueError(f"invalid parameters c={c}, k={k}")
+    return c * c / k
+
+
+def rendezvous_broadcast_bound(n: int, c: int, k: int, *, constant: float = 3.0) -> int:
+    """The straightforward broadcast baseline: every node independently
+    rendezvouses with the source, so ``O((c^2/k) * lg n)`` slots suffice
+    for all ``n - 1`` nodes w.h.p. (Section 1)."""
+    bound = constant * rendezvous_expected_slots(c, k) * lg(n)
+    return max(1, math.ceil(bound))
+
+
+def rendezvous_aggregation_bound(n: int, c: int, k: int, *, constant: float = 3.0) -> int:
+    """The straightforward aggregation baseline: ``O(c^2 n / k)`` slots
+    (Section 1) — every node must win a rendezvous slot with the source,
+    and fair contention serializes the ``n - 1`` reports."""
+    bound = constant * (c * c / k) * max(1, n)
+    return max(1, math.ceil(bound))
+
+
+def bipartite_hitting_lower_bound(c: int, k: int, *, beta: float = 2.0) -> float:
+    """Lemma 11: no player wins the (c, k)-bipartite hitting game within
+    ``c^2 / (alpha k)`` rounds with probability 1/2, where
+    ``alpha = 2 * (beta / (beta - 1))^2`` and ``k <= c / beta``."""
+    if beta <= 1:
+        raise ValueError("beta must exceed 1")
+    alpha = 2.0 * (beta / (beta - 1.0)) ** 2
+    return c * c / (alpha * k)
+
+
+def complete_hitting_lower_bound(c: int) -> float:
+    """Lemma 14: the c-complete bipartite hitting game needs at least
+    ``c / 3`` rounds to win with probability 1/2."""
+    return c / 3.0
+
+
+def broadcast_lower_bound_local_labels(n: int, c: int, k: int) -> float:
+    """Theorem 15: local broadcast under local channel labels needs
+    ``Omega((c/k) * max{1, c/n})`` slots for success probability 1/2.
+    Returned without the hidden constant (use for shape comparisons)."""
+    return (c / k) * max(1.0, c / n)
+
+
+def broadcast_lower_bound_global_labels(c: int, k: int) -> float:
+    """Theorem 16: the *exact* expectation derived in the proof — the
+    source's first landing on an overlapping channel takes
+    ``(c + 1) / (k + 1)`` expected slots in the shared-core construction."""
+    return (c + 1) / (k + 1)
+
+
+def aggregation_lower_bound(n: int, k: int) -> float:
+    """Section 5 discussion: when all nodes share the same ``k``
+    channels, ``Omega(n/k)`` slots are needed for every node to report."""
+    return n / k
+
+
+def decay_backoff_bound(n: int, *, constant: float = 4.0) -> int:
+    """Footnote 4: decay-style backoff delivers one message w.h.p.
+    within ``O(log^2 n)`` micro-slots."""
+    return max(1, math.ceil(constant * lg(n) ** 2))
+
+
+def hopping_together_expected_slots(C: int, k: int) -> float:
+    """Section 6 discussion: with global labels and all pairs overlapping
+    on the same ``k`` channels, scanning the ``C``-channel universe in
+    lockstep hits an overlapping channel in ``O(C/k)`` expected slots."""
+    return C / k

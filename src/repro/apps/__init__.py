@@ -1,0 +1,10 @@
+"""Applications composed from the paper's primitives.
+
+The paper motivates its algorithms as building blocks; this package
+contains the compositions it names — currently consensus
+(:mod:`repro.apps.consensus`).
+"""
+
+from repro.apps.consensus import ConsensusResult, run_consensus
+
+__all__ = ["ConsensusResult", "run_consensus"]

@@ -1,0 +1,49 @@
+"""Channel-assignment generators and validators.
+
+See :mod:`repro.assignment.generators` for the catalogue of overlap
+patterns (shared core, pairwise blocks, lower-bound instances, dynamic
+schedules) and :mod:`repro.assignment.validation` for structural
+statistics.
+"""
+
+from repro.assignment.generators import (
+    GENERATORS,
+    dynamic_shared_core_schedule,
+    hopping_discussion_instance,
+    identical,
+    pairwise_blocks,
+    random_with_core,
+    shared_core,
+    two_set_worst_case,
+)
+from repro.assignment.jammed import (
+    effective_overlap,
+    jammed_dynamic_schedule,
+    random_jam_schedule,
+)
+from repro.assignment.validation import (
+    AssignmentSummary,
+    channel_load,
+    overlap_matrix,
+    shared_channels,
+    summarize,
+)
+
+__all__ = [
+    "GENERATORS",
+    "AssignmentSummary",
+    "channel_load",
+    "dynamic_shared_core_schedule",
+    "effective_overlap",
+    "hopping_discussion_instance",
+    "jammed_dynamic_schedule",
+    "random_jam_schedule",
+    "identical",
+    "overlap_matrix",
+    "pairwise_blocks",
+    "random_with_core",
+    "shared_channels",
+    "shared_core",
+    "summarize",
+    "two_set_worst_case",
+]

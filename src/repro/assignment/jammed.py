@@ -1,0 +1,90 @@
+"""The Theorem 18 model transform: jamming == dynamic channel availability.
+
+Theorem 18's reduction maps an n-uniform jamming adversary in a
+``c``-channel multi-channel network onto a *dynamic* cognitive radio
+network: if the jammer silences at most ``k'`` channels at a node in a
+slot, that node effectively has the other ``c - k'`` channels, and any
+two nodes still share at least ``c - 2k'`` channels that slot.
+
+:func:`jammed_dynamic_schedule` makes the transform executable: given a
+base assignment where all nodes share the same ``c`` channels and a
+per-slot jamming pattern, it produces the equivalent
+:class:`~repro.sim.channels.DynamicSchedule` whose slot-``t`` assignment
+is exactly the unjammed channels.  Running COGCAST on this schedule is
+the "informed" side of the reduction (the node somehow senses jamming);
+running COGCAST obliviously against the jammer (engine-level
+:class:`~repro.sim.adversary.Jammer`) is the "oblivious" side.
+Experiment E19 compares the two.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.sim.adversary import Jammer
+from repro.sim.channels import ChannelAssignment, DynamicSchedule
+from repro.types import Channel
+
+
+def effective_overlap(c: int, jam_budget: int) -> int:
+    """Theorem 18's overlap guarantee: ``c - 2k'`` (must stay positive)."""
+    overlap = c - 2 * jam_budget
+    if overlap <= 0:
+        raise ValueError(
+            f"jam budget {jam_budget} >= c/2 = {c / 2}: the reduction "
+            "(and broadcast itself) needs k' < c/2"
+        )
+    return overlap
+
+
+def jammed_dynamic_schedule(
+    universe: Sequence[Channel],
+    n: int,
+    jammer: Jammer,
+    *,
+    jam_budget: int,
+) -> DynamicSchedule:
+    """The dynamic CRN equivalent of *jammer* acting on a shared band.
+
+    Every node nominally holds all of *universe*; at slot ``t`` node
+    ``u`` holds the channels the jammer leaves it.  To keep the
+    per-node channel count uniform (the model's fixed ``c``), nodes
+    jammed on fewer than *jam_budget* channels are padded down by
+    dropping their highest unjammed channels — a conservative choice
+    that only weakens the schedule, never strengthens it.
+    """
+    channels = sorted(universe)
+    c_total = len(channels)
+    c_effective = c_total - jam_budget
+    overlap = effective_overlap(c_total, jam_budget)
+
+    def generate(slot: int) -> ChannelAssignment:
+        jammed_at = jammer.jammed(slot, n)
+        per_node: list[tuple[Channel, ...]] = []
+        for node in range(n):
+            blocked = jammed_at.get(node, frozenset())
+            available = [ch for ch in channels if ch not in blocked]
+            per_node.append(tuple(available[:c_effective]))
+        return ChannelAssignment(tuple(per_node), overlap=overlap)
+
+    return DynamicSchedule(generate)
+
+
+def random_jam_schedule(
+    c: int,
+    n: int,
+    jam_budget: int,
+    seed: int,
+) -> DynamicSchedule:
+    """Convenience: a per-node-random jammer folded into a dynamic schedule.
+
+    Uses its own deterministic jamming stream so the schedule is
+    reproducible independent of engine state.
+    """
+    from repro.sim.adversary import RandomJammer
+    from repro.sim.rng import derive_rng
+
+    universe = list(range(c))
+    jammer = RandomJammer(universe, jam_budget, derive_rng(seed, "schedule-jammer"))
+    return jammed_dynamic_schedule(universe, n, jammer, jam_budget=jam_budget)

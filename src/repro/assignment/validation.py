@@ -1,0 +1,95 @@
+"""Validation and structural statistics for channel assignments.
+
+Beyond the hard invariants checked by
+:meth:`~repro.sim.channels.ChannelAssignment.validate`, experiments want
+to *characterize* an assignment: how crowded is each channel, what does
+the overlap distribution look like, is this a shared-core-like or a
+pairwise-distinct-like pattern?  The helpers here compute those
+summaries; they are analysis-side only (algorithms never see them).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.sim.channels import ChannelAssignment
+from repro.types import Channel, NodeId
+
+
+def overlap_matrix(assignment: ChannelAssignment) -> list[list[int]]:
+    """The symmetric ``n x n`` matrix of pairwise channel overlaps.
+
+    The diagonal holds ``c`` (a node trivially overlaps itself on all
+    its channels).
+    """
+    sets = [assignment.channel_set(node) for node in range(assignment.num_nodes)]
+    n = assignment.num_nodes
+    matrix = [[0] * n for _ in range(n)]
+    for u in range(n):
+        matrix[u][u] = len(sets[u])
+        for v in range(u + 1, n):
+            shared = len(sets[u] & sets[v])
+            matrix[u][v] = shared
+            matrix[v][u] = shared
+    return matrix
+
+
+def channel_load(assignment: ChannelAssignment) -> Counter[Channel]:
+    """How many nodes can tune each physical channel."""
+    load: Counter[Channel] = Counter()
+    for chans in assignment.channels:
+        load.update(chans)
+    return load
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentSummary:
+    """Structural statistics describing one assignment.
+
+    Attributes
+    ----------
+    num_nodes, channels_per_node, declared_overlap: the (n, c, k) shape.
+    universe_size: number of distinct physical channels in use.
+    min_overlap, max_overlap, mean_overlap: pairwise overlap stats.
+    max_channel_load: the most crowded channel's node count.
+    shared_by_all: number of channels every node can tune.
+    """
+
+    num_nodes: int
+    channels_per_node: int
+    declared_overlap: int
+    universe_size: int
+    min_overlap: int
+    max_overlap: int
+    mean_overlap: float
+    max_channel_load: int
+    shared_by_all: int
+
+
+def summarize(assignment: ChannelAssignment) -> AssignmentSummary:
+    """Compute an :class:`AssignmentSummary` (O(n^2 c))."""
+    n = assignment.num_nodes
+    sets = [assignment.channel_set(node) for node in range(n)]
+    overlaps = [
+        len(sets[u] & sets[v]) for u, v in itertools.combinations(range(n), 2)
+    ]
+    load = channel_load(assignment)
+    common = frozenset.intersection(*sets)
+    return AssignmentSummary(
+        num_nodes=n,
+        channels_per_node=assignment.channels_per_node,
+        declared_overlap=assignment.overlap,
+        universe_size=len(assignment.universe),
+        min_overlap=min(overlaps),
+        max_overlap=max(overlaps),
+        mean_overlap=sum(overlaps) / len(overlaps),
+        max_channel_load=max(load.values()),
+        shared_by_all=len(common),
+    )
+
+
+def shared_channels(assignment: ChannelAssignment, u: NodeId, v: NodeId) -> frozenset[Channel]:
+    """The physical channels nodes *u* and *v* both hold."""
+    return assignment.channel_set(u) & assignment.channel_set(v)

@@ -1,0 +1,16 @@
+"""The decay-backoff substrate validating the paper's collision abstraction
+(footnote 4): one message succeeds w.h.p. within O(log^2 n) micro-slots."""
+
+from repro.backoff.decay import (
+    DecayResult,
+    DecaySchedule,
+    resolve_contention,
+    success_probability_curve,
+)
+
+__all__ = [
+    "DecayResult",
+    "DecaySchedule",
+    "resolve_contention",
+    "success_probability_curve",
+]

@@ -1,0 +1,50 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.rendezvous` — non-relaying randomized-rendezvous
+  broadcast, ``O((c^2/k) lg n)`` (Section 1).
+- :mod:`repro.baselines.aggregation` — rendezvous-based aggregation,
+  ``O(c^2 n / k)`` (Section 1).
+- :mod:`repro.baselines.hopping` — global-label lockstep scan that beats
+  COGCAST when ``c >> n`` (Section 6 discussion).
+"""
+
+from repro.baselines.aggregation import (
+    BaselineAggregationResult,
+    RendezvousCollector,
+    RendezvousReporter,
+    run_rendezvous_aggregation,
+)
+from repro.baselines.deterministic import (
+    StayAndScanBroadcast,
+    run_stay_and_scan_broadcast,
+    stay_and_scan_pairwise,
+)
+from repro.baselines.hopping import HoppingTogether, run_hopping_together
+from repro.baselines.rendezvous import (
+    RendezvousBroadcast,
+    pairwise_rendezvous_slots,
+    run_rendezvous_broadcast,
+)
+from repro.baselines.seeded import (
+    PairSetup,
+    make_pair,
+    repeated_rendezvous_gaps,
+)
+
+__all__ = [
+    "BaselineAggregationResult",
+    "HoppingTogether",
+    "PairSetup",
+    "RendezvousBroadcast",
+    "RendezvousCollector",
+    "RendezvousReporter",
+    "StayAndScanBroadcast",
+    "make_pair",
+    "pairwise_rendezvous_slots",
+    "repeated_rendezvous_gaps",
+    "run_stay_and_scan_broadcast",
+    "stay_and_scan_pairwise",
+    "run_hopping_together",
+    "run_rendezvous_aggregation",
+    "run_rendezvous_broadcast",
+]

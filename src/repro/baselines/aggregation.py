@@ -1,0 +1,103 @@
+"""The randomized-rendezvous aggregation baseline (paper Section 1).
+
+"The source node should listen while the non-source nodes transmit
+their data.  [...] if multiple nodes share the same channel during the
+rendezvous, only one can succeed in its transmission.  As n grows, this
+crowding will also grow.  Assuming that the contention resolution is
+fair, the obvious upper bound for this straightforward strategy is
+``O(c^2 n / k)``."
+
+Implementation: the source hops uniformly and listens; every other node
+hops uniformly and broadcasts its ``(id, value)`` report every slot
+(it has no way to learn the source heard it, so it never stops).  The
+run completes when the source has collected all ``n - 1`` reports.
+Experiment E06 races this against COGCOMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.messages import ValueReportPayload
+from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import Engine, build_engine
+from repro.sim.protocol import NodeView, Protocol
+from repro.types import NodeId
+
+
+class RendezvousReporter(Protocol):
+    """A non-source node: broadcast the datum on a random channel, forever."""
+
+    def __init__(self, view: NodeView, value: Any) -> None:
+        self.view = view
+        self._payload = ValueReportPayload(cluster_slot=-1, value=value)
+
+    def begin_slot(self, slot: int) -> Action:
+        return Broadcast(self.view.random_label(), self._payload)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        return None
+
+
+class RendezvousCollector(Protocol):
+    """The source: listen on a random channel, collect distinct reports."""
+
+    def __init__(self, view: NodeView) -> None:
+        self.view = view
+        self.collected: dict[NodeId, Any] = {}
+
+    def begin_slot(self, slot: int) -> Action:
+        return Listen(self.view.random_label())
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if outcome.received is not None and isinstance(
+            outcome.received.payload, ValueReportPayload
+        ):
+            sender = outcome.received.sender
+            if sender not in self.collected:
+                self.collected[sender] = outcome.received.payload.value
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineAggregationResult:
+    """Outcome of one rendezvous-aggregation run."""
+
+    slots: int
+    completed: bool
+    collected: dict[NodeId, Any]
+
+
+def run_rendezvous_aggregation(
+    network: Network,
+    values: Sequence[Any],
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    max_slots: int,
+    collision: CollisionModel | None = None,
+) -> BaselineAggregationResult:
+    """Run the baseline until the source holds every node's value."""
+    n = network.num_nodes
+    if len(values) != n:
+        raise ValueError(f"{len(values)} values for {n} nodes")
+
+    def factory(view: NodeView) -> Protocol:
+        if view.node_id == source:
+            return RendezvousCollector(view)
+        return RendezvousReporter(view, values[view.node_id])
+
+    engine = build_engine(network, factory, seed=seed, collision=collision)
+    collector: RendezvousCollector = engine.protocols[source]  # type: ignore[assignment]
+
+    def all_collected(_: Engine) -> bool:
+        return len(collector.collected) >= n - 1
+
+    result = engine.run(max_slots, stop_when=all_collected)
+    return BaselineAggregationResult(
+        slots=result.slots,
+        completed=result.completed,
+        collected=dict(collector.collected),
+    )

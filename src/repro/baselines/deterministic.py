@@ -1,0 +1,134 @@
+"""Deterministic stay-and-scan rendezvous (the §1 determinism comparison).
+
+The rendezvous literature the paper responds to favours deterministic
+schedules with ``O(c^2)`` guarantees; Section 1 notes uniform random
+hopping achieves ``O(c^2/k)`` — *better for non-constant k* — at the
+price of a (tunable) failure probability.
+
+This module implements the classic asymmetric deterministic scheme for
+our synchronized-start model, usable whenever one party is
+distinguished (exactly the local-broadcast setting, where the source
+is):
+
+- the **stayer** dwells on its local channel ``floor(t / c) mod c``,
+  spending ``c`` consecutive slots on each of its channels;
+- the **scanner** sweeps ``t mod c``, visiting all its channels once
+  per ``c`` slots.
+
+Within ``c^2`` slots every (stayer-channel, scanner-channel) pair
+occurs, so the pair provably meets on some shared channel regardless of
+label order — zero failure probability, but a flat ``Theta(c^2)`` cost
+that randomization beats by a factor ``k`` (experiment E21).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.baselines.seeded import make_pair
+from repro.core.cogcast import BroadcastResult
+from repro.core.messages import InitPayload
+from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import Engine, build_engine
+from repro.sim.protocol import NodeView, Protocol
+from repro.types import NodeId
+
+
+def stay_and_scan_pairwise(
+    c: int,
+    k: int,
+    rng: random.Random,
+    *,
+    max_slots: int | None = None,
+) -> int:
+    """Slots until a stayer/scanner pair meets (guaranteed <= c^2).
+
+    The instance (which k channels are shared, and both nodes' label
+    orders) is random; the schedule is deterministic.
+    """
+    setup = make_pair(c, k, rng)
+    u_order = list(setup.u_channels)
+    v_order = list(setup.v_channels)
+    rng.shuffle(u_order)
+    rng.shuffle(v_order)
+    budget = max_slots if max_slots is not None else c * c
+    for slot in range(budget):
+        stayer_channel = u_order[(slot // c) % c]
+        scanner_channel = v_order[slot % c]
+        if stayer_channel == scanner_channel:
+            return slot + 1
+    raise AssertionError(
+        f"stay-and-scan must meet within c^2 = {c * c} slots"
+    )
+
+
+class StayAndScanBroadcast(Protocol):
+    """Deterministic local broadcast: source dwells, everyone else scans.
+
+    Every listener provably hears the source within ``c^2`` slots (its
+    scan crosses each of the source's dwell blocks on every one of its
+    own channels, and at least ``k`` of those are shared).
+    """
+
+    def __init__(self, view: NodeView, *, is_source: bool, body: Any = None) -> None:
+        self.view = view
+        self.is_source = is_source
+        self.informed = is_source
+        self.parent: NodeId | None = None
+        self.informed_slot: int | None = -1 if is_source else None
+        self._message = InitPayload(origin=view.node_id, body=body) if is_source else None
+
+    def begin_slot(self, slot: int) -> Action:
+        c = self.view.num_channels
+        if self.is_source:
+            label = (slot // c) % c
+            assert self._message is not None
+            return Broadcast(label, self._message)
+        return Listen(slot % c)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.informed:
+            return
+        if outcome.received is not None and isinstance(
+            outcome.received.payload, InitPayload
+        ):
+            self.informed = True
+            self.parent = outcome.received.sender
+            self.informed_slot = slot
+
+
+def run_stay_and_scan_broadcast(
+    network: Network,
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    max_slots: int | None = None,
+    body: Any = None,
+    collision: CollisionModel | None = None,
+) -> BroadcastResult:
+    """Run the deterministic broadcast to completion (<= c^2 slots)."""
+    c = network.channels_per_node
+    budget = max_slots if max_slots is not None else c * c
+
+    def factory(view: NodeView) -> StayAndScanBroadcast:
+        return StayAndScanBroadcast(
+            view, is_source=(view.node_id == source), body=body
+        )
+
+    engine = build_engine(network, factory, seed=seed, collision=collision)
+    protocols: list[StayAndScanBroadcast] = engine.protocols  # type: ignore[assignment]
+
+    def all_informed(_: Engine) -> bool:
+        return all(protocol.informed for protocol in protocols)
+
+    result = engine.run(budget, stop_when=all_informed)
+    return BroadcastResult(
+        slots=result.slots,
+        completed=result.completed,
+        informed_count=sum(protocol.informed for protocol in protocols),
+        parents=tuple(protocol.parent for protocol in protocols),
+        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
+    )

@@ -1,0 +1,134 @@
+"""The hopping-together baseline (paper Section 6, global-label discussion).
+
+With *global* channel labels, all nodes can scan the ``C``-channel
+universe in lockstep: in slot ``t`` every node that holds channel
+``t mod C`` tunes it (the source broadcasts, everyone else listens);
+nodes that lack it sit the slot out.  In expectation the scan hits one
+of the ``k`` universally shared channels within ``O(C/k)`` slots, and
+one hit informs every node at once.
+
+The paper uses this to show COGCAST is *not* optimal for ``c >> n``
+under global labels: with ``c = n^2`` and ``k = c - 1``, hopping
+together finishes in ``O(1)`` expected slots while COGCAST needs
+``Theta(n lg n)`` (experiment E11).  Under local labels the scheme is
+impossible — there is no shared channel numbering to scan.
+
+Because the scheme *requires* global knowledge the NodeView deliberately
+does not carry, the protocol is constructed with the node's global
+channel ids and the universe size — exactly the extra information the
+global-label model grants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.messages import InitPayload
+from repro.sim.actions import Action, Broadcast, Idle, Listen, SlotOutcome
+from repro.sim.channels import ChannelAssignment, Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import Engine, make_views
+from repro.sim.protocol import NodeView, Protocol
+from repro.types import Channel, NodeId
+
+from repro.core.cogcast import BroadcastResult
+
+
+class HoppingTogether(Protocol):
+    """Sequential-scan broadcast for the global channel label model.
+
+    Parameters
+    ----------
+    view:
+        The node's local view.
+    global_channels:
+        This node's channels by *global* id, ordered to match its local
+        labels (``global_channels[i]`` is local label ``i``).  Only the
+        global-label model grants a node this knowledge.
+    universe_size:
+        ``C`` — the globally known scan period.
+    """
+
+    def __init__(
+        self,
+        view: NodeView,
+        global_channels: Sequence[Channel],
+        universe_size: int,
+        *,
+        is_source: bool = False,
+        body: Any = None,
+    ) -> None:
+        if len(global_channels) != view.num_channels:
+            raise ValueError("global_channels must list one id per local label")
+        self.view = view
+        self.universe_size = universe_size
+        self._label_of = {channel: label for label, channel in enumerate(global_channels)}
+        self.is_source = is_source
+        self.informed = is_source
+        self.parent: NodeId | None = None
+        self.informed_slot: int | None = -1 if is_source else None
+        self._message = InitPayload(origin=view.node_id, body=body) if is_source else None
+
+    def begin_slot(self, slot: int) -> Action:
+        scanned: Channel = slot % self.universe_size
+        label = self._label_of.get(scanned)
+        if label is None:
+            return Idle()
+        if self.informed:
+            assert self._message is not None
+            return Broadcast(label, self._message)
+        return Listen(label)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.informed:
+            return
+        if outcome.received is not None and isinstance(
+            outcome.received.payload, InitPayload
+        ):
+            self.informed = True
+            self.parent = outcome.received.sender
+            self.informed_slot = slot
+
+
+def run_hopping_together(
+    assignment: ChannelAssignment,
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    max_slots: int,
+    body: Any = None,
+    collision: CollisionModel | None = None,
+) -> BroadcastResult:
+    """Run the lockstep scan until every node is informed.
+
+    Takes the :class:`ChannelAssignment` directly (not a network)
+    because the protocol legitimately needs each node's global channel
+    ids; the scan period is ``max(universe) + 1``, matching the dense
+    global numbering the generators produce.
+    """
+    network = Network.static(assignment)
+    universe_size = max(assignment.universe) + 1
+    views = make_views(network, seed)
+    protocols = [
+        HoppingTogether(
+            view,
+            assignment.channels[view.node_id],
+            universe_size,
+            is_source=(view.node_id == source),
+            body=body,
+        )
+        for view in views
+    ]
+    engine = Engine(network, protocols, seed=seed, collision=collision)
+
+    def all_informed(_: Engine) -> bool:
+        return all(protocol.informed for protocol in protocols)
+
+    result = engine.run(max_slots, stop_when=all_informed)
+    return BroadcastResult(
+        slots=result.slots,
+        completed=result.completed,
+        informed_count=sum(protocol.informed for protocol in protocols),
+        parents=tuple(protocol.parent for protocol in protocols),
+        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
+    )

@@ -1,0 +1,116 @@
+"""The randomized-rendezvous broadcast baseline (paper Section 1).
+
+"A simple strategy to solve local broadcast is for all nodes to run
+(randomized) rendezvous with the source transmitting its message in each
+slot" — the source broadcasts on a uniformly random channel every slot,
+every other node listens on a uniformly random channel, and nobody
+relays.  Each listener meets the source with probability ``k/c^2`` per
+slot, so completion takes ``O((c^2/k) * lg n)`` slots w.h.p. — a factor
+``~c`` slower than COGCAST when ``n >= c``, which experiment E04
+measures head to head.
+
+This module also provides the two-node rendezvous primitive itself
+(:func:`pairwise_rendezvous_slots`), used to validate the ``c^2/k``
+expectation that both baselines inherit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.messages import InitPayload
+from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import Engine, build_engine
+from repro.sim.protocol import NodeView, Protocol
+from repro.types import NodeId
+
+from repro.core.cogcast import BroadcastResult
+
+
+class RendezvousBroadcast(Protocol):
+    """Non-relaying broadcast: only the source ever transmits."""
+
+    def __init__(self, view: NodeView, *, is_source: bool, body: Any = None) -> None:
+        self.view = view
+        self.is_source = is_source
+        self.informed = is_source
+        self.parent: NodeId | None = None
+        self.informed_slot: int | None = -1 if is_source else None
+        self._message = InitPayload(origin=view.node_id, body=body) if is_source else None
+
+    def begin_slot(self, slot: int) -> Action:
+        label = self.view.random_label()
+        if self.is_source:
+            assert self._message is not None
+            return Broadcast(label, self._message)
+        return Listen(label)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.informed:
+            return
+        if outcome.received is not None and isinstance(
+            outcome.received.payload, InitPayload
+        ):
+            self.informed = True
+            self.parent = outcome.received.sender
+            self.informed_slot = slot
+
+
+def run_rendezvous_broadcast(
+    network: Network,
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    max_slots: int,
+    body: Any = None,
+    collision: CollisionModel | None = None,
+) -> BroadcastResult:
+    """Run the baseline until every node has heard the source."""
+
+    def factory(view: NodeView) -> RendezvousBroadcast:
+        return RendezvousBroadcast(
+            view, is_source=(view.node_id == source), body=body
+        )
+
+    engine = build_engine(network, factory, seed=seed, collision=collision)
+    protocols: list[RendezvousBroadcast] = engine.protocols  # type: ignore[assignment]
+
+    def all_informed(_: Engine) -> bool:
+        return all(protocol.informed for protocol in protocols)
+
+    result = engine.run(max_slots, stop_when=all_informed)
+    return BroadcastResult(
+        slots=result.slots,
+        completed=result.completed,
+        informed_count=sum(protocol.informed for protocol in protocols),
+        parents=tuple(protocol.parent for protocol in protocols),
+        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
+    )
+
+
+def pairwise_rendezvous_slots(
+    c: int,
+    k: int,
+    rng: random.Random,
+    *,
+    max_slots: int = 10_000_000,
+) -> int:
+    """Slots until two uniformly hopping nodes land on a common channel.
+
+    Simulates the primitive directly: node ``u`` holds channels
+    ``0..c-1``, node ``v`` holds ``k`` of them plus ``c-k`` fresh ones,
+    both pick uniformly each slot.  Expected value is ``c^2/k``
+    (:func:`repro.analysis.theory.rendezvous_expected_slots`).
+    """
+    if not 1 <= k <= c:
+        raise ValueError(f"invalid c={c}, k={k}")
+    shared = rng.sample(range(c), k)
+    u_channels = list(range(c))
+    v_channels = shared + list(range(c, 2 * c - k))
+    for slot in range(1, max_slots + 1):
+        if rng.choice(u_channels) == rng.choice(v_channels):
+            return slot
+    raise RuntimeError(f"no rendezvous within {max_slots} slots")

@@ -1,0 +1,79 @@
+"""The paper's primary contributions: COGCAST and COGCOMP.
+
+- :class:`~repro.core.cogcast.CogCast` /
+  :func:`~repro.core.cogcast.run_local_broadcast` — epidemic local
+  broadcast (Section 4, Theorem 4).
+- :class:`~repro.core.cogcomp.CogComp` /
+  :func:`~repro.core.cogcomp.run_data_aggregation` — four-phase data
+  aggregation (Section 5, Theorem 10).
+- :class:`~repro.core.tree.DistributionTree` — the implicit spanning
+  tree (Lemma 5) and its verification.
+- :mod:`repro.core.clusters` — (r, c)-cluster reconstruction
+  (Definitions 6 and 8).
+- :mod:`repro.core.aggregation` — associative aggregators (the small-
+  message observation in Section 5's discussion).
+"""
+
+from repro.core.aggregation import (
+    Aggregator,
+    CollectAggregator,
+    CountAggregator,
+    MajorityAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from repro.core.clusters import (
+    ClusterInfo,
+    ClusterKey,
+    cluster_of,
+    clusters_from_trace,
+    largest_cluster_per_slot,
+)
+from repro.core.cogcast import BroadcastResult, CogCast, LogEntry, run_local_broadcast
+from repro.core.cogcomp import AggregationResult, CogComp, run_data_aggregation
+from repro.core.gossip import GossipCast, GossipResult, run_gossip
+from repro.core.messages import (
+    AckPayload,
+    ClusterSizePayload,
+    CountPayload,
+    InitPayload,
+    MediatorAnnouncePayload,
+    ValueReportPayload,
+)
+from repro.core.tree import DistributionTree, TreeError
+
+__all__ = [
+    "AckPayload",
+    "AggregationResult",
+    "Aggregator",
+    "BroadcastResult",
+    "ClusterInfo",
+    "ClusterKey",
+    "ClusterSizePayload",
+    "CogCast",
+    "CogComp",
+    "CollectAggregator",
+    "CountAggregator",
+    "CountPayload",
+    "DistributionTree",
+    "GossipCast",
+    "GossipResult",
+    "InitPayload",
+    "LogEntry",
+    "MajorityAggregator",
+    "MaxAggregator",
+    "MeanAggregator",
+    "MediatorAnnouncePayload",
+    "MinAggregator",
+    "SumAggregator",
+    "TreeError",
+    "ValueReportPayload",
+    "cluster_of",
+    "clusters_from_trace",
+    "largest_cluster_per_slot",
+    "run_data_aggregation",
+    "run_gossip",
+    "run_local_broadcast",
+]

@@ -1,0 +1,167 @@
+"""Aggregation functions for COGCOMP.
+
+COGCOMP aggregates a value from every node to the source.  The paper
+highlights (Section 5 discussion) that for *associative* functions each
+node can fold its children's partial results into a single outgoing
+value, keeping messages at ``O(polylog(n))`` bits.  An
+:class:`Aggregator` captures exactly that contract:
+
+- :meth:`Aggregator.lift` turns a node's raw datum into an aggregate;
+- :meth:`Aggregator.combine` merges two aggregates (must be associative
+  and commutative — COGCOMP imposes no order on sibling arrival).
+
+:class:`CollectAggregator` deliberately violates the small-message goal
+(it gathers every ``(node, value)`` pair) and exists for exact
+end-to-end verification in tests and experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, Mapping, TypeVar
+
+from repro.types import NodeId
+
+A = TypeVar("A")
+
+
+class Aggregator(abc.ABC, Generic[A]):
+    """An associative, commutative aggregation over node data."""
+
+    @abc.abstractmethod
+    def lift(self, node: NodeId, value: Any) -> A:
+        """Embed one node's raw datum into the aggregate domain."""
+
+    @abc.abstractmethod
+    def combine(self, left: A, right: A) -> A:
+        """Merge two aggregates.  Must be associative and commutative."""
+
+    def size_bits(self, aggregate: A) -> int:
+        """A rough message-size accounting hook (bits).
+
+        Used by the message-overhead experiment; default assumes a
+        machine word.
+        """
+        return 64
+
+
+class SumAggregator(Aggregator[float]):
+    """Sum of all node values."""
+
+    def lift(self, node: NodeId, value: Any) -> float:
+        return float(value)
+
+    def combine(self, left: float, right: float) -> float:
+        return left + right
+
+
+class MaxAggregator(Aggregator[float]):
+    """Maximum node value."""
+
+    def lift(self, node: NodeId, value: Any) -> float:
+        return float(value)
+
+    def combine(self, left: float, right: float) -> float:
+        return max(left, right)
+
+
+class MinAggregator(Aggregator[float]):
+    """Minimum node value."""
+
+    def lift(self, node: NodeId, value: Any) -> float:
+        return float(value)
+
+    def combine(self, left: float, right: float) -> float:
+        return min(left, right)
+
+
+class CountAggregator(Aggregator[int]):
+    """Counts participating nodes (ignores the raw values)."""
+
+    def lift(self, node: NodeId, value: Any) -> int:
+        return 1
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+
+class MeanAggregator(Aggregator[tuple[float, int]]):
+    """Arithmetic mean, carried as a ``(sum, count)`` pair.
+
+    Demonstrates that non-associative *functions* are still aggregable
+    when re-expressed over an associative carrier.  Use
+    :meth:`finalize` on the source's result.
+    """
+
+    def lift(self, node: NodeId, value: Any) -> tuple[float, int]:
+        return (float(value), 1)
+
+    def combine(
+        self, left: tuple[float, int], right: tuple[float, int]
+    ) -> tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def size_bits(self, aggregate: tuple[float, int]) -> int:
+        return 128
+
+    @staticmethod
+    def finalize(aggregate: tuple[float, int]) -> float:
+        total, count = aggregate
+        return total / count
+
+
+class MajorityAggregator(Aggregator[Mapping[Any, int]]):
+    """Vote counting: the carrier is a value -> count histogram.
+
+    Supports the consensus application (paper §1: aggregation "can be
+    used to solve many theoretical tasks (e.g., reaching consensus)").
+    The carrier stays small whenever the input domain is small (binary
+    or few-valued consensus), preserving the small-message property.
+    Use :meth:`winner` on the source's result.
+    """
+
+    def lift(self, node: NodeId, value: Any) -> Mapping[Any, int]:
+        return {value: 1}
+
+    def combine(
+        self, left: Mapping[Any, int], right: Mapping[Any, int]
+    ) -> Mapping[Any, int]:
+        merged = dict(left)
+        for value, count in right.items():
+            merged[value] = merged.get(value, 0) + count
+        return merged
+
+    def size_bits(self, aggregate: Mapping[Any, int]) -> int:
+        return 64 * max(1, len(aggregate))
+
+    @staticmethod
+    def winner(aggregate: Mapping[Any, int]) -> Any:
+        """The plurality value; ties broken by smallest repr (stable)."""
+        best = max(aggregate.values())
+        candidates = [value for value, count in aggregate.items() if count == best]
+        return min(candidates, key=repr)
+
+
+class CollectAggregator(Aggregator[Mapping[NodeId, Any]]):
+    """Collects every node's ``(id, value)`` pair (unbounded messages).
+
+    The verification aggregator: the source ends with the exact mapping
+    of all node data, so tests can assert nothing was lost, duplicated,
+    or misattributed.
+    """
+
+    def lift(self, node: NodeId, value: Any) -> Mapping[NodeId, Any]:
+        return {node: value}
+
+    def combine(
+        self, left: Mapping[NodeId, Any], right: Mapping[NodeId, Any]
+    ) -> Mapping[NodeId, Any]:
+        overlap = set(left) & set(right)
+        if overlap:
+            raise ValueError(f"duplicate contributions from nodes {sorted(overlap)}")
+        merged = dict(left)
+        merged.update(right)
+        return merged
+
+    def size_bits(self, aggregate: Mapping[NodeId, Any]) -> int:
+        return 64 * max(1, len(aggregate))

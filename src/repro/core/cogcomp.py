@@ -1,0 +1,575 @@
+"""COGCOMP: data aggregation over the COGCAST distribution tree (Section 5).
+
+COGCOMP aggregates one value per node up to the source in
+``O((c/k) * max{1, c/n} * lg n + n)`` slots w.h.p. (Theorem 10).  It
+runs four phases on a fixed global timetable every node can compute from
+``(n, l)`` where ``l`` is the phase-one length:
+
+========  ============================  =========================================
+Phase     Absolute slots                Purpose
+========  ============================  =========================================
+one       ``[0, l)``                    COGCAST from the source ("INIT"); every
+                                        node logs its actions — Lemma 5 builds
+                                        the distribution tree.
+two       ``[l, l+n)``                  Census on each node's informing channel:
+                                        members learn their (r, c)-cluster size
+                                        and each used channel elects a mediator
+                                        (smallest id in its last-informed
+                                        cluster) — Lemma 7.
+three     ``[l+n, 2l+n)``               Time-reversed replay of phase one:
+                                        clusters report their size to their
+                                        informer — Lemma 9.
+four      ``[2l+n, ...)`` (3-slot       Mediator-serialized aggregation from
+          *steps*)                      leaves to root — Theorem 10, O(n) steps.
+========  ============================  =========================================
+
+Phase-four step structure (paper, Section 5):
+
+- *slot 1*: the channel's mediator announces which cluster (by informing
+  slot ``r'``) should report; everyone else listens.
+- *slot 2*: senders in cluster ``r'`` broadcast their subtree aggregate;
+  the cluster's informer listens.
+- *slot 3*: the informer echoes the identity of the sender it accepted;
+  that sender terminates (a mediator instead continues its duties until
+  every cluster on its channel has drained).
+
+The implementation is defensive where the paper's proof uses induction:
+senders re-send until explicitly acked, receivers deduplicate by sender
+id, and mediators advance only on observed acks — so transient
+misalignment (a receiver still busy elsewhere) stalls progress for a
+step but can never corrupt the aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.aggregation import Aggregator, CollectAggregator
+from repro.core.cogcast import CogCast
+from repro.core.messages import (
+    AckPayload,
+    ClusterSizePayload,
+    CountPayload,
+    InitPayload,
+    MediatorAnnouncePayload,
+    ValueReportPayload,
+)
+from repro.sim.actions import Action, Broadcast, Idle, Listen, SlotOutcome
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import build_engine
+from repro.sim.protocol import NodeView, Protocol
+from repro.sim.trace import EventTrace
+from repro.types import NodeId, SimulationError, Slot
+
+
+@dataclass
+class _PendingCluster:
+    """A cluster this node informed and must still collect from.
+
+    ``slot`` is the phase-one slot the cluster was informed in; ``label``
+    is this node's local label for the cluster's channel; ``size`` is the
+    member count learned in phase three; ``collected`` holds the member
+    ids whose reports have been accepted.
+    """
+
+    slot: Slot
+    label: int
+    size: int
+    collected: set[NodeId] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.collected) >= self.size
+
+
+@dataclass
+class _MediatorCluster:
+    """A cluster the mediator serializes on its channel: informing slot,
+    full membership (learned in phase two), and members acked so far."""
+
+    slot: Slot
+    members: frozenset[NodeId]
+    acked: set[NodeId] = field(default_factory=set)
+
+    @property
+    def complete(self) -> bool:
+        return self.acked >= self.members
+
+
+class CogComp(Protocol):
+    """One node's COGCOMP state machine.
+
+    Parameters
+    ----------
+    view:
+        The node's local view.
+    phase1_slots:
+        ``l`` — the globally agreed phase-one length (all nodes must use
+        the same value; see :func:`repro.analysis.theory.cogcast_slot_bound`).
+    value:
+        This node's datum to aggregate.
+    aggregator:
+        The associative aggregation (shared by all nodes).
+    is_source:
+        Whether this node is the aggregation root.
+    """
+
+    def __init__(
+        self,
+        view: NodeView,
+        *,
+        phase1_slots: int,
+        value: Any,
+        aggregator: Aggregator,
+        is_source: bool = False,
+    ) -> None:
+        if phase1_slots < 1:
+            raise ValueError("phase1_slots must be positive")
+        self.view = view
+        self.is_source = is_source
+        self.aggregator = aggregator
+        self.phase1_slots = phase1_slots
+        self.phase2_start = phase1_slots
+        self.phase3_start = phase1_slots + view.num_nodes
+        self.phase4_start = 2 * phase1_slots + view.num_nodes
+
+        # Phase one runs a full COGCAST instance with logging on.
+        self._cogcast = CogCast(view, is_source=is_source, keep_log=True)
+
+        # Populated at phase transitions.
+        self.failed = False  # never informed in phase one
+        self.informed_slot: Optional[Slot] = None
+        self.informed_label: Optional[int] = None
+        self.parent: Optional[NodeId] = None
+
+        # Phase two state.
+        self._census_sent = False
+        self._heard_pairs: list[tuple[NodeId, Slot]] = []
+        self.cluster_size: Optional[int] = None
+        self.is_mediator = False
+        self._mediator_clusters: list[_MediatorCluster] = []
+        self._mediator_index = 0
+
+        # Phase three state.
+        self._pending: list[_PendingCluster] = []
+
+        # Phase four state.
+        self.aggregate: Any = aggregator.lift(view.node_id, value)
+        self._announced_slot: Optional[Slot] = None
+        self._report_to_ack: Optional[tuple[NodeId, Any]] = None
+        self._sent_acked = False
+        self._done = False
+        self.phase4_steps = 0
+        # Message-overhead accounting (Section 5 discussion: associative
+        # aggregation keeps reports at O(polylog n) bits).
+        self.max_message_bits = 0
+
+    # ------------------------------------------------------------------
+    # Protocol interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def begin_slot(self, slot: int) -> Action:
+        """Dispatch to the phase the global timetable puts *slot* in."""
+        if slot < self.phase2_start:
+            return self._cogcast.begin_slot(slot)
+        if slot < self.phase3_start:
+            if slot == self.phase2_start:
+                self._enter_phase2()
+            return self._begin_phase2(slot)
+        if slot < self.phase4_start:
+            if slot == self.phase3_start:
+                self._enter_phase3()
+            return self._begin_phase3(slot)
+        if slot == self.phase4_start:
+            self._enter_phase4()
+        return self._begin_phase4(slot)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        """Route the outcome to the current phase's handler."""
+        if slot < self.phase2_start:
+            self._cogcast.end_slot(slot, outcome)
+        elif slot < self.phase3_start:
+            self._end_phase2(slot, outcome)
+        elif slot < self.phase4_start:
+            self._end_phase3(slot, outcome)
+        else:
+            self._end_phase4(slot, outcome)
+
+    # ------------------------------------------------------------------
+    # Phase two: cluster census and mediator election (Lemma 7)
+    # ------------------------------------------------------------------
+
+    def _enter_phase2(self) -> None:
+        """Snapshot phase-one results; a never-informed node drops out."""
+        if self.is_source:
+            self.informed_slot = None
+            return
+        if not self._cogcast.informed:
+            self.failed = True
+            self._done = True
+            return
+        self.informed_slot = self._cogcast.informed_slot
+        self.informed_label = self._cogcast.informed_label
+        self.parent = self._cogcast.parent
+
+    def _begin_phase2(self, slot: int) -> Action:
+        if self.is_source or self.failed:
+            return Idle()
+        assert self.informed_label is not None
+        if not self._census_sent:
+            payload = CountPayload(
+                node=self.view.node_id, informed_slot=self.informed_slot  # type: ignore[arg-type]
+            )
+            return Broadcast(self.informed_label, payload)
+        return Listen(self.informed_label)
+
+    def _end_phase2(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.is_source or self.failed:
+            if slot == self.phase3_start - 1:
+                self._finish_phase2()
+            return
+        if isinstance(outcome.action, Broadcast) and outcome.success:
+            self._census_sent = True
+        if outcome.received is not None and isinstance(
+            outcome.received.payload, CountPayload
+        ):
+            payload = outcome.received.payload
+            self._heard_pairs.append((payload.node, payload.informed_slot))
+        if slot == self.phase3_start - 1:
+            self._finish_phase2()
+
+    def _finish_phase2(self) -> None:
+        """Derive the cluster size and mediator role from the census.
+
+        Every node on the channel succeeded exactly once during the
+        ``n`` census slots (winners go silent, so the broadcaster pool
+        strictly shrinks), and every node heard every success except its
+        own — so the census, plus the node itself, is the channel's full
+        membership roster.
+        """
+        if self.is_source or self.failed:
+            return
+        assert self.informed_slot is not None
+        roster = self._heard_pairs + [(self.view.node_id, self.informed_slot)]
+        self.cluster_size = sum(
+            1 for _, informed in roster if informed == self.informed_slot
+        )
+        last_slot = max(informed for _, informed in roster)
+        mediator_id = min(
+            node for node, informed in roster if informed == last_slot
+        )
+        self.is_mediator = mediator_id == self.view.node_id
+        if self.is_mediator:
+            by_slot: dict[Slot, set[NodeId]] = {}
+            for node, informed in roster:
+                by_slot.setdefault(informed, set()).add(node)
+            self._mediator_clusters = [
+                _MediatorCluster(slot=informed, members=frozenset(members))
+                for informed, members in sorted(by_slot.items(), reverse=True)
+            ]
+
+    # ------------------------------------------------------------------
+    # Phase three: rewind — informers learn their clusters (Lemma 9)
+    # ------------------------------------------------------------------
+
+    def _enter_phase3(self) -> None:
+        return None
+
+    def _replayed_slot(self, slot: int) -> Slot:
+        """Phase-one slot replayed at phase-three *slot* (time reversal)."""
+        index = slot - self.phase3_start
+        return self.phase1_slots - 1 - index
+
+    def _begin_phase3(self, slot: int) -> Action:
+        if self.failed:
+            return Idle()
+        entry = self._cogcast.log[self._replayed_slot(slot)]
+        if entry.first_informed:
+            assert self.cluster_size is not None
+            return Broadcast(
+                entry.label,
+                ClusterSizePayload(informed_slot=entry.slot, size=self.cluster_size),
+            )
+        # Successful phase-one broadcasters listen for their cluster's
+        # report; everyone else re-tunes the same channel harmlessly.
+        return Listen(entry.label)
+
+    def _end_phase3(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.failed:
+            return
+        entry = self._cogcast.log[self._replayed_slot(slot)]
+        if (
+            entry.was_broadcast
+            and entry.success
+            and outcome.received is not None
+            and isinstance(outcome.received.payload, ClusterSizePayload)
+        ):
+            payload = outcome.received.payload
+            if payload.informed_slot == entry.slot and payload.size > 0:
+                self._pending.append(
+                    _PendingCluster(
+                        slot=entry.slot, label=entry.label, size=payload.size
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Phase four: mediator-serialized aggregation (Theorem 10)
+    # ------------------------------------------------------------------
+
+    def _enter_phase4(self) -> None:
+        # Collect from the most recently informed cluster first
+        # (descending slot number, per the protocol).
+        self._pending.sort(key=lambda cluster: cluster.slot, reverse=True)
+        if self.is_source and not self._pending:
+            # Degenerate: the source informed nobody directly (only
+            # possible when phase one failed to spread); nothing to do.
+            self._done = True
+
+    @property
+    def _is_receiver(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def _mediator_active(self) -> bool:
+        return (
+            self.is_mediator
+            and not self._is_receiver
+            and self._mediator_index < len(self._mediator_clusters)
+        )
+
+    def _current_mediator_cluster(self) -> _MediatorCluster:
+        return self._mediator_clusters[self._mediator_index]
+
+    def _begin_phase4(self, slot: int) -> Action:
+        if self.failed:
+            return Idle()
+        slot_in_step = (slot - self.phase4_start) % 3
+        if self._is_receiver:
+            cluster = self._pending[0]
+            if slot_in_step == 2 and self._report_to_ack is not None:
+                sender, _ = self._report_to_ack
+                return Broadcast(cluster.label, AckPayload(node=sender))
+            return Listen(cluster.label)
+
+        # Sender side (possibly with mediator duties).
+        assert self.informed_label is not None or self.is_source
+        if self.is_source:
+            return Idle()  # a finished source only waits for `done`
+        label = self.informed_label
+        assert label is not None
+        if slot_in_step == 0:
+            if self._mediator_active:
+                current = self._current_mediator_cluster()
+                self._announced_slot = current.slot
+                return Broadcast(
+                    label, MediatorAnnouncePayload(cluster_slot=current.slot)
+                )
+            self._announced_slot = None
+            return Listen(label)
+        if slot_in_step == 1:
+            should_send = (
+                not self._sent_acked
+                and self._announced_slot is not None
+                and self._announced_slot == self.informed_slot
+            )
+            if should_send:
+                self.max_message_bits = max(
+                    self.max_message_bits,
+                    self.aggregator.size_bits(self.aggregate),
+                )
+                return Broadcast(
+                    label,
+                    ValueReportPayload(
+                        cluster_slot=self.informed_slot, value=self.aggregate  # type: ignore[arg-type]
+                    ),
+                )
+            return Listen(label)
+        return Listen(label)
+
+    def _end_phase4(self, slot: int, outcome: SlotOutcome) -> None:
+        if self.failed:
+            return
+        slot_in_step = (slot - self.phase4_start) % 3
+        if slot_in_step == 2:
+            self.phase4_steps += 1
+
+        if self._is_receiver:
+            self._end_phase4_receiver(slot_in_step, outcome)
+            return
+        if not self.is_source:
+            self._end_phase4_sender(slot_in_step, outcome)
+
+    def _end_phase4_receiver(self, slot_in_step: int, outcome: SlotOutcome) -> None:
+        cluster = self._pending[0]
+        if slot_in_step == 1:
+            self._report_to_ack = None
+            if outcome.received is not None and isinstance(
+                outcome.received.payload, ValueReportPayload
+            ):
+                payload = outcome.received.payload
+                if payload.cluster_slot == cluster.slot:
+                    self._report_to_ack = (outcome.received.sender, payload.value)
+            return
+        if slot_in_step == 2:
+            if self._report_to_ack is not None:
+                sender, value = self._report_to_ack
+                if sender not in cluster.collected:
+                    cluster.collected.add(sender)
+                    self.aggregate = self.aggregator.combine(self.aggregate, value)
+                self._report_to_ack = None
+            if cluster.complete:
+                self._pending.pop(0)
+                if not self._pending and self.is_source:
+                    self._done = True
+
+    def _end_phase4_sender(self, slot_in_step: int, outcome: SlotOutcome) -> None:
+        if slot_in_step == 0:
+            if not self._mediator_active:
+                self._announced_slot = None
+                if outcome.received is not None and isinstance(
+                    outcome.received.payload, MediatorAnnouncePayload
+                ):
+                    self._announced_slot = outcome.received.payload.cluster_slot
+            return
+        if slot_in_step == 2:
+            acked_node: Optional[NodeId] = None
+            if outcome.received is not None and isinstance(
+                outcome.received.payload, AckPayload
+            ):
+                acked_node = outcome.received.payload.node
+            if acked_node is not None:
+                if acked_node == self.view.node_id:
+                    self._sent_acked = True
+                if self._mediator_active:
+                    current = self._current_mediator_cluster()
+                    if acked_node in current.members:
+                        current.acked.add(acked_node)
+                        if current.complete:
+                            self._mediator_index += 1
+            self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.is_source or self.failed:
+            return
+        duties_done = not self.is_mediator or self._mediator_index >= len(
+            self._mediator_clusters
+        )
+        if self._sent_acked and duties_done and not self._is_receiver:
+            self._done = True
+
+
+@dataclass(frozen=True, slots=True)
+class AggregationResult:
+    """Outcome of one COGCOMP execution.
+
+    Attributes
+    ----------
+    value: the aggregate computed at the source (``None`` on failure).
+    completed: whether the source terminated within the budget.
+    total_slots: slots executed end to end.
+    phase1_slots, phase2_slots, phase3_slots: the fixed phase lengths.
+    phase4_slots: slots spent in phase four (3 per step).
+    failures: node ids never informed during phase one.
+    parents: the distribution tree's parent pointers.
+    max_message_bits: largest phase-four report any node sent, per the
+        aggregator's size accounting (polylog for associative
+        aggregators, linear for collect).
+    """
+
+    value: Any
+    completed: bool
+    total_slots: int
+    phase1_slots: int
+    phase2_slots: int
+    phase3_slots: int
+    phase4_slots: int
+    failures: tuple[NodeId, ...]
+    parents: tuple[Optional[NodeId], ...]
+    max_message_bits: int
+
+
+def run_data_aggregation(
+    network: Network,
+    values: Sequence[Any],
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    aggregator: Aggregator | None = None,
+    phase1_slots: int | None = None,
+    max_phase4_steps: int | None = None,
+    collision: CollisionModel | None = None,
+    trace: EventTrace | None = None,
+    require_completion: bool = False,
+) -> AggregationResult:
+    """Run COGCOMP end to end and return the source's aggregate.
+
+    Parameters
+    ----------
+    values:
+        ``values[u]`` is node ``u``'s datum.
+    phase1_slots:
+        Phase-one length ``l``; defaults to the Theorem 4 bound computed
+        by :func:`repro.analysis.theory.cogcast_slot_bound`.
+    max_phase4_steps:
+        Safety budget for phase four; defaults to ``6n + 64`` steps
+        (Theorem 10 guarantees ``O(n)``).
+    """
+    from repro.analysis.theory import cogcast_slot_bound
+
+    n = network.num_nodes
+    if len(values) != n:
+        raise ValueError(f"{len(values)} values for {n} nodes")
+    agg = aggregator if aggregator is not None else CollectAggregator()
+    l = (
+        phase1_slots
+        if phase1_slots is not None
+        else cogcast_slot_bound(n, network.channels_per_node, network.overlap)
+    )
+    steps_budget = max_phase4_steps if max_phase4_steps is not None else 6 * n + 64
+    max_slots = 2 * l + n + 3 * steps_budget
+
+    def factory(view: NodeView) -> CogComp:
+        return CogComp(
+            view,
+            phase1_slots=l,
+            value=values[view.node_id],
+            aggregator=agg,
+            is_source=(view.node_id == source),
+        )
+
+    engine = build_engine(
+        network, factory, seed=seed, collision=collision, trace=trace
+    )
+    protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
+    source_protocol = protocols[source]
+
+    result = engine.run(max_slots, stop_when=lambda _: source_protocol.done)
+    failures = tuple(
+        node for node, protocol in enumerate(protocols) if protocol.failed
+    )
+    if require_completion and (not result.completed or failures):
+        raise SimulationError(
+            f"aggregation incomplete: completed={result.completed}, "
+            f"failures={failures}"
+        )
+    phase4_slots = max(0, result.slots - (2 * l + n))
+    return AggregationResult(
+        value=source_protocol.aggregate if result.completed else None,
+        completed=result.completed and not failures,
+        total_slots=result.slots,
+        phase1_slots=l,
+        phase2_slots=n,
+        phase3_slots=l,
+        phase4_slots=phase4_slots,
+        failures=failures,
+        parents=tuple(protocol.parent for protocol in protocols),
+        max_message_bits=max(
+            protocol.max_message_bits for protocol in protocols
+        ),
+    )

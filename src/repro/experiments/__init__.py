@@ -1,0 +1,26 @@
+"""The experiment suite: every quantitative claim of the paper as a table.
+
+See DESIGN.md section 5 for the claim-to-experiment map.  Run with::
+
+    python -m repro list
+    python -m repro run E01
+    python -m repro run all --trials 20
+
+or programmatically::
+
+    from repro.experiments import get, load_all
+    table = get("E01").run(trials=10, seed=0, fast=True)
+    print(table.render())
+"""
+
+from repro.experiments.harness import ExperimentSpec, Table, trial_seeds
+from repro.experiments.registry import get, load_all, register
+
+__all__ = [
+    "ExperimentSpec",
+    "Table",
+    "get",
+    "load_all",
+    "register",
+    "trial_seeds",
+]

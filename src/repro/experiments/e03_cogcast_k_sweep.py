@@ -1,0 +1,69 @@
+"""E03 — the ``c/k`` dependence: COGCAST speeds up linearly with overlap.
+
+Theorem 4's leading factor.  Fixed ``(n, c)``, sweep ``k`` from 1 to
+``c``; completion time should halve every time the overlap guarantee
+doubles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_proportional
+from repro.analysis.theory import lg
+from repro.experiments.e01_cogcast_scaling_n import measure_cogcast_slots
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+
+
+@register(
+    "E03",
+    "COGCAST completion vs k",
+    "Theorem 4: slots scale as c/k — doubling the overlap halves the time",
+)
+def run(trials: int = 20, seed: int = 0, fast: bool = False) -> Table:
+    n, c = 64, 32
+    ks = [2, 8, 32] if fast else [1, 2, 4, 8, 16, 32]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    predictors: list[float] = []
+    means: list[float] = []
+    for k in ks:
+        samples = [
+            measure_cogcast_slots(n, c, k, trial_seed)
+            for trial_seed in trial_seeds(seed, f"E03-{k}", trials)
+        ]
+        predictor = (c / k) * lg(n)
+        sample_mean = mean(samples)
+        predictors.append(predictor)
+        means.append(sample_mean)
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                round(predictor, 1),
+                round(sample_mean, 1),
+                max(samples),
+                round(sample_mean / predictor, 2),
+            )
+        )
+    fit = fit_proportional(predictors, means)
+    return Table(
+        experiment_id="E03",
+        title="COGCAST completion vs k",
+        claim="Theorem 4: slots = O((c/k) lg n) — inverse-linear in k",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "(c/k)*lg n",
+            "mean slots",
+            "max slots",
+            "slots/pred",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"proportional fit: slots ~ {fit.slope:.2f} * (c/k) lg n, "
+            f"R^2 = {fit.r_squared:.3f}"
+        ),
+    )

@@ -1,0 +1,88 @@
+"""E12 — COGCAST is insensitive to the *pattern* of overlap.
+
+Claim 2's analysis splits on whether shared channels are crowded (all
+pairs share the same ``k`` channels) or spread thin (every pair shares
+its own distinct ``k``-set), and shows the independent-inform
+probability is ``Omega(k/c)`` either way.  Running both extremes — plus
+the realistic random-core middle — at identical ``(n, c, k)`` should
+give completion times within a small constant of each other.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import pairwise_blocks, random_with_core, shared_core
+from repro.core import run_local_broadcast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import Network
+from repro.sim.rng import derive_rng
+
+
+def measure_pattern(pattern: str, n: int, c: int, k: int, seed: int) -> int:
+    """COGCAST completion slots on one instance of the named pattern."""
+    rng = derive_rng(seed, "assignment")
+    if pattern == "shared-core":
+        assignment = shared_core(n, c, k, rng)
+    elif pattern == "pairwise-blocks":
+        assignment = pairwise_blocks(n, c, k, rng)
+    elif pattern == "random-core":
+        assignment = random_with_core(n, c, k, rng)
+    else:
+        raise ValueError(pattern)
+    network = Network.static(assignment.shuffled_labels(rng), validate=False)
+    result = run_local_broadcast(
+        network, source=0, seed=seed, max_slots=1_000_000, require_completion=True
+    )
+    return result.slots
+
+
+@register(
+    "E12",
+    "COGCAST across overlap patterns (Claim 2's two extremes)",
+    "Claim 2: the independent-inform probability is Omega(k/c) whether "
+    "the shared channels are crowded or spread thin",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    # pairwise_blocks needs c >= k(n-1); pick shapes satisfying it.
+    settings = [(8, 14, 2)] if fast else [(8, 14, 2), (12, 22, 2), (12, 33, 3)]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    for n, c, k in settings:
+        seeds = trial_seeds(seed, f"E12-{n}-{c}-{k}", trials)
+        means = {
+            pattern: mean([measure_pattern(pattern, n, c, k, s) for s in seeds])
+            for pattern in ("shared-core", "pairwise-blocks", "random-core")
+        }
+        spread = max(means.values()) / min(means.values())
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                round(means["shared-core"], 1),
+                round(means["pairwise-blocks"], 1),
+                round(means["random-core"], 1),
+                round(spread, 2),
+            )
+        )
+    return Table(
+        experiment_id="E12",
+        title="COGCAST completion by overlap pattern",
+        claim="Claim 2: same (n, c, k) => same order of completion time",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "shared-core",
+            "pairwise-blocks",
+            "random-core",
+            "max/min",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "a small max/min spread (constant, not growing with the "
+            "parameters) reproduces the pattern-independence claim; note "
+            "random-core is faster since extra overlaps only help"
+        ),
+    )

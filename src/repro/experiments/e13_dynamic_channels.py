@@ -1,0 +1,78 @@
+"""E13 — COGCAST under dynamic channel assignments.
+
+Section 4's discussion (and Theorem 17's setting): COGCAST's analysis
+never uses that the assignment is static — as long as each slot's
+assignment keeps every pair overlapping on ``k`` channels, the epidemic
+argument goes through unchanged.  We re-randomize the entire assignment
+*every slot* and compare completion times against the static case at
+the same ``(n, c, k)``.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import dynamic_shared_core_schedule, shared_core
+from repro.core import run_local_broadcast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import Network
+from repro.sim.rng import derive_rng
+
+
+def measure_dynamic(n: int, c: int, k: int, seed: int) -> int:
+    """Completion slots with the assignment re-randomized every slot."""
+    schedule = dynamic_shared_core_schedule(n, c, k, seed)
+    network = Network(schedule)
+    result = run_local_broadcast(
+        network, source=0, seed=seed, max_slots=1_000_000, require_completion=True
+    )
+    return result.slots
+
+
+def measure_static(n: int, c: int, k: int, seed: int) -> int:
+    """Completion slots on a fixed shared-core assignment (the control)."""
+    rng = derive_rng(seed, "assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    result = run_local_broadcast(
+        network, source=0, seed=seed, max_slots=1_000_000, require_completion=True
+    )
+    return result.slots
+
+
+@register(
+    "E13",
+    "COGCAST with per-slot re-randomized assignments",
+    "Section 4 discussion: COGCAST provides the same guarantee under "
+    "dynamic assignments (Theorem 4's proof is slot-local)",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    settings = [(32, 8, 2)] if fast else [(32, 8, 2), (64, 16, 4), (16, 32, 8)]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    for n, c, k in settings:
+        seeds = trial_seeds(seed, f"E13-{n}-{c}-{k}", trials)
+        static = mean([measure_static(n, c, k, s) for s in seeds])
+        dynamic = mean([measure_dynamic(n, c, k, s) for s in seeds])
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                round(static, 1),
+                round(dynamic, 1),
+                round(dynamic / static, 2),
+            )
+        )
+    return Table(
+        experiment_id="E13",
+        title="COGCAST: static vs fully dynamic assignments",
+        claim="same completion-time order whether channels are stable or "
+        "re-drawn every slot",
+        columns=("n", "c", "k", "static mean", "dynamic mean", "dyn/static"),
+        rows=tuple(rows),
+        notes=(
+            "dyn/static near 1 reproduces the robustness claim; no "
+            "schedule-based algorithm survives this adversary (Theorem 17)"
+        ),
+    )

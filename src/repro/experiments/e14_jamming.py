@@ -1,0 +1,105 @@
+"""E14 — COGCAST under an n-uniform jamming adversary (Theorem 18).
+
+Theorem 18's reduction: jamming at most ``k'`` channels per node per
+slot in a ``c``-channel multi-channel network is the dynamic-CRN model
+with pairwise overlap ``>= c - 2k'``.  Running COGCAST against jammers
+of increasing budget should therefore degrade completion time smoothly
+as ``c/(c - 2k')`` grows — and never prevent completion while
+``k' < c/2``.
+
+Three jammer archetypes: per-node random (the strongest oblivious
+n-uniform pattern against a memoryless algorithm), a 1-uniform sweeping
+narrowband interferer, and a targeted per-node fixed set.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import identical
+from repro.core import run_local_broadcast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import Network, RandomJammer, SweepJammer, TargetedJammer
+from repro.sim.rng import derive_rng
+
+
+def measure_jammed(c: int, n: int, budget: int, jammer_kind: str, seed: int) -> int:
+    """Completion slots against the named jammer at the given budget."""
+    assignment = identical(n, c)
+    rng = derive_rng(seed, "labels")
+    network = Network.static(assignment.shuffled_labels(rng), validate=False)
+    universe = sorted(assignment.universe)
+    if budget == 0:
+        jammer = None
+    elif jammer_kind == "random":
+        jammer = RandomJammer(universe, budget, derive_rng(seed, "jammer"))
+    elif jammer_kind == "sweep":
+        jammer = SweepJammer(universe, budget)
+    elif jammer_kind == "targeted":
+        pick = derive_rng(seed, "jam-targets")
+        jammer = TargetedJammer(
+            {node: frozenset(pick.sample(universe, budget)) for node in range(n)}
+        )
+    else:
+        raise ValueError(jammer_kind)
+    result = run_local_broadcast(
+        network,
+        source=0,
+        seed=seed,
+        max_slots=500_000,
+        jammer=jammer,
+        require_completion=True,
+    )
+    return result.slots
+
+
+@register(
+    "E14",
+    "COGCAST vs n-uniform jamming",
+    "Theorem 18: local broadcast remains solvable under an n-uniform "
+    "jammer of budget k' < c/2; effective overlap is c - 2k'",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    n, c = 32, 16
+    budgets = [0, 4] if fast else [0, 2, 4, 6]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    for budget in budgets:
+        seeds = trial_seeds(seed, f"E14-{budget}", trials)
+        columns: dict[str, float] = {}
+        for kind in ("random", "sweep", "targeted"):
+            if budget == 0 and kind != "random":
+                columns[kind] = columns["random"]
+                continue
+            columns[kind] = mean(
+                [measure_jammed(c, n, budget, kind, s) for s in seeds]
+            )
+        effective = c - 2 * budget
+        rows.append(
+            (
+                n,
+                c,
+                budget,
+                effective,
+                round(columns["random"], 1),
+                round(columns["sweep"], 1),
+                round(columns["targeted"], 1),
+            )
+        )
+    return Table(
+        experiment_id="E14",
+        title="COGCAST completion under jamming (budget sweep)",
+        claim="Theorem 18: completion degrades smoothly with budget, "
+        "never failing while k' < c/2",
+        columns=(
+            "n",
+            "c",
+            "jam budget",
+            "c - 2k'",
+            "random jam",
+            "sweep jam",
+            "targeted jam",
+        ),
+        rows=tuple(rows),
+        notes="every cell is a *completed* broadcast — the reduction's point",
+    )

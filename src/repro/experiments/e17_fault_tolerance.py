@@ -1,0 +1,143 @@
+"""E17 — COGCAST under crash and outage faults (Section 1's robustness claim).
+
+"Because nodes do the same thing in every slot, it can gracefully
+handle changes to the network conditions, temporary faults, and so on."
+
+We inject two fault classes into a broadcast:
+
+- **outages**: a random fraction of nodes sleep through random
+  intervals (radio off, then resume);
+- **crashes**: a random fraction of *non-source* nodes die permanently
+  at random early slots.
+
+Success criterion: every node that is alive (and, for outage nodes,
+eventually awake) still gets informed, with completion time degrading
+smoothly in the fault rate rather than collapsing.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import shared_core
+from repro.core import CogCast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import (
+    CrashFault,
+    Engine,
+    Network,
+    OutageFault,
+    make_views,
+    with_faults,
+)
+from repro.sim.rng import derive_rng
+
+
+def measure_faulty_broadcast(
+    n: int,
+    c: int,
+    k: int,
+    fault_fraction: float,
+    fault_kind: str,
+    seed: int,
+    *,
+    max_slots: int = 100_000,
+) -> tuple[int, int, int]:
+    """Run COGCAST with faults; returns (slots, informed, must_inform).
+
+    ``must_inform`` counts the nodes the success criterion covers: all
+    of them for outages (they wake up again), only the survivors for
+    crashes.
+    """
+    if fault_kind not in ("outage", "crash"):
+        raise ValueError(f"unknown fault kind {fault_kind!r}")
+    rng = derive_rng(seed, "assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    views = make_views(network, seed)
+    protocols = [
+        CogCast(view, is_source=(view.node_id == 0)) for view in views
+    ]
+
+    fault_rng = derive_rng(seed, "faults")
+    faulty_count = int(fault_fraction * n)
+    victims = fault_rng.sample(range(1, n), min(faulty_count, n - 1))
+    plan = {}
+    for victim in victims:
+        if fault_kind == "outage":
+            start = fault_rng.randrange(0, 30)
+            length = fault_rng.randrange(5, 25)
+            plan[victim] = [OutageFault(((start, start + length),))]
+        else:
+            plan[victim] = [CrashFault(crash_slot=fault_rng.randrange(2, 20))]
+
+    wrapped = with_faults(protocols, plan)
+    engine = Engine(network, wrapped, seed=seed)
+
+    crashed = set(victims) if fault_kind == "crash" else set()
+    must_inform = [node for node in range(n) if node not in crashed]
+
+    def goal(_: Engine) -> bool:
+        return all(protocols[node].informed for node in must_inform)
+
+    result = engine.run(max_slots, stop_when=goal)
+    if not result.completed:
+        raise RuntimeError("faulty broadcast did not finish live nodes")
+    informed = sum(protocols[node].informed for node in must_inform)
+    return result.slots, informed, len(must_inform)
+
+
+@register(
+    "E17",
+    "COGCAST fault tolerance (crashes and outages)",
+    "Section 1: the stateless slot structure gracefully handles "
+    "temporary faults and node failures",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    n, c, k = 32, 8, 2
+    fractions = [0.0, 0.25] if fast else [0.0, 0.125, 0.25, 0.5]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    for fraction in fractions:
+        outage = mean(
+            [
+                measure_faulty_broadcast(n, c, k, fraction, "outage", s)[0]
+                for s in trial_seeds(seed, f"E17-o-{fraction}", trials)
+            ]
+        )
+        crash = mean(
+            [
+                measure_faulty_broadcast(n, c, k, fraction, "crash", s)[0]
+                for s in trial_seeds(seed, f"E17-c-{fraction}", trials)
+            ]
+        )
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                fraction,
+                round(outage, 1),
+                round(crash, 1),
+            )
+        )
+    baseline = rows[0][4]
+    return Table(
+        experiment_id="E17",
+        title="COGCAST completion under fault injection",
+        claim="live nodes always get informed; slowdown is smooth in the "
+        "fault rate",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "fault frac",
+            "outage slots",
+            "crash slots",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"fault-free baseline {baseline} slots; every cell is a run in "
+            "which all live nodes were informed (failures would raise)"
+        ),
+    )

@@ -1,0 +1,97 @@
+"""E18 — COGCOMP's message overhead by aggregator (Section 5 discussion).
+
+"If the nodes' values are used to compute a function that is
+associative (e.g., min/max, count), then each node can locally compute
+this function [...] and only pass the outcome to its parent.  [...] the
+message size can be restricted to O(polylog(n))."
+
+We run COGCOMP with four aggregators over a sweep of ``n`` and record
+the **largest report any node sent** (per the aggregators' size
+accounting): associative carriers stay constant-size while the
+collect-everything aggregator grows linearly in the subtree size.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import shared_core
+from repro.core import (
+    CollectAggregator,
+    CountAggregator,
+    MeanAggregator,
+    SumAggregator,
+    run_data_aggregation,
+)
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import Network
+from repro.sim.rng import derive_rng
+
+
+def measure_message_bits(n: int, c: int, k: int, aggregator, seed: int) -> int:
+    """Largest phase-four report (bits) in one verified COGCOMP run."""
+    rng = derive_rng(seed, "assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    result = run_data_aggregation(
+        network,
+        [float(node) for node in range(n)],
+        seed=seed,
+        aggregator=aggregator,
+        require_completion=True,
+    )
+    return result.max_message_bits
+
+
+@register(
+    "E18",
+    "COGCOMP message overhead: associative vs collect",
+    "Section 5 discussion: associative aggregation keeps messages "
+    "O(polylog n); shipping raw values grows linearly",
+)
+def run(trials: int = 10, seed: int = 0, fast: bool = False) -> Table:
+    c, k = 8, 2
+    ns = [16, 32] if fast else [16, 32, 64, 128]
+    trials = min(trials, 3) if fast else trials
+
+    rows = []
+    for n in ns:
+        seeds = trial_seeds(seed, f"E18-{n}", trials)
+        sums = mean([measure_message_bits(n, c, k, SumAggregator(), s) for s in seeds])
+        counts = mean(
+            [measure_message_bits(n, c, k, CountAggregator(), s) for s in seeds]
+        )
+        means = mean(
+            [measure_message_bits(n, c, k, MeanAggregator(), s) for s in seeds]
+        )
+        collects = mean(
+            [measure_message_bits(n, c, k, CollectAggregator(), s) for s in seeds]
+        )
+        rows.append(
+            (
+                n,
+                int(sums),
+                int(counts),
+                int(means),
+                round(collects, 0),
+                round(collects / n, 1),
+            )
+        )
+    return Table(
+        experiment_id="E18",
+        title="Largest COGCOMP report by aggregator (bits)",
+        claim="sum/count/mean columns are flat in n; collect grows ~linearly",
+        columns=(
+            "n",
+            "sum bits",
+            "count bits",
+            "mean bits",
+            "collect bits",
+            "collect/n",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "bit counts use each aggregator's size model (64-bit words); "
+            "a flat collect/n column shows the linear growth the paper's "
+            "small-message observation avoids"
+        ),
+    )

@@ -1,0 +1,110 @@
+"""E19 — Theorem 18's model transform, executed from both sides.
+
+Theorem 18 proves: an algorithm solving local broadcast in a *dynamic*
+CRN with local labels also solves broadcast under an n-uniform jammer,
+because jamming ``k'`` channels at a node just shrinks its available
+set that slot (pairwise overlap stays ``>= c - 2k'``).
+
+We execute both sides on the same jamming process:
+
+- **oblivious side**: COGCAST hops over all ``c`` channels while the
+  engine-level jammer silences ``k'`` per node per slot;
+- **reduction side**: the jammer is folded into a dynamic
+  :class:`~repro.sim.channels.DynamicSchedule` whose slot-``t``
+  assignment is exactly the unjammed channels, and COGCAST runs on
+  that network (hopping over ``c - k'`` channels).
+
+Both must complete; the reduction side is moderately faster because it
+never wastes a slot on a jammed channel — quantifying what the
+"sensing" assumption inside the reduction buys.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import effective_overlap, identical, random_jam_schedule
+from repro.core import run_local_broadcast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import Network, RandomJammer
+from repro.sim.rng import derive_rng
+
+
+def measure_oblivious(n: int, c: int, budget: int, seed: int) -> int:
+    """Completion slots with the jammer applied at the engine level."""
+    assignment = identical(n, c)
+    rng = derive_rng(seed, "labels")
+    network = Network.static(assignment.shuffled_labels(rng), validate=False)
+    jammer = (
+        RandomJammer(sorted(assignment.universe), budget, derive_rng(seed, "jam"))
+        if budget
+        else None
+    )
+    result = run_local_broadcast(
+        network,
+        seed=seed,
+        max_slots=200_000,
+        jammer=jammer,
+        require_completion=True,
+    )
+    return result.slots
+
+
+def measure_reduction(n: int, c: int, budget: int, seed: int) -> int:
+    """Completion slots with the jammer folded into a dynamic schedule."""
+    if budget == 0:
+        return measure_oblivious(n, c, 0, seed)
+    schedule = random_jam_schedule(c, n, budget, seed)
+    network = Network(schedule)
+    result = run_local_broadcast(
+        network, seed=seed, max_slots=200_000, require_completion=True
+    )
+    return result.slots
+
+
+@register(
+    "E19",
+    "Theorem 18 from both sides: oblivious jamming vs dynamic schedule",
+    "Theorem 18: jamming k' < c/2 channels per node equals a dynamic "
+    "CRN with overlap c - 2k'; broadcast succeeds either way",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    n, c = 24, 12
+    budgets = [0, 3] if fast else [0, 2, 3, 4, 5]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    for budget in budgets:
+        seeds = trial_seeds(seed, f"E19-{budget}", trials)
+        oblivious = mean([measure_oblivious(n, c, budget, s) for s in seeds])
+        reduction = mean([measure_reduction(n, c, budget, s) for s in seeds])
+        rows.append(
+            (
+                n,
+                c,
+                budget,
+                effective_overlap(c, budget),
+                round(oblivious, 1),
+                round(reduction, 1),
+                round(oblivious / reduction, 2),
+            )
+        )
+    return Table(
+        experiment_id="E19",
+        title="Jammed broadcast: oblivious vs reduction view",
+        claim="both sides complete for every k' < c/2, degrading smoothly",
+        columns=(
+            "n",
+            "c",
+            "jam k'",
+            "c - 2k'",
+            "oblivious slots",
+            "schedule slots",
+            "obl/sched",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "the reduction side ('sensing' the jam) is mildly faster; "
+            "completion on both sides for all k' < c/2 is the theorem's "
+            "content"
+        ),
+    )

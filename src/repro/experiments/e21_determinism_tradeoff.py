@@ -1,0 +1,84 @@
+"""E21 — the determinism trade-off (Section 1 and footnote 1).
+
+"The best [deterministic] solutions achieve an O(c^2) bound.  It is
+straightforward to show that basic uniform randomized channel hopping
+would improve this bound to O(c^2/k) (which is better for non-constant
+k)."
+
+We race a guaranteed deterministic stay-and-scan rendezvous (flat
+``Theta(c^2)``) against uniform random hopping (mean ``c^2/k``) across
+``k``: determinism never fails but never improves with overlap;
+randomization cuts the cost by a factor ``k``, with its tail fully
+quantified by the p95 column (footnote 1's "error bounds can be easily
+tuned" point).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import percentile
+from repro.analysis.theory import rendezvous_expected_slots
+from repro.baselines import pairwise_rendezvous_slots
+from repro.baselines.deterministic import stay_and_scan_pairwise
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim.rng import derive_rng
+
+
+@register(
+    "E21",
+    "Deterministic O(c^2) vs randomized O(c^2/k) rendezvous",
+    "Section 1: uniform random hopping beats deterministic schedules by "
+    "a factor k; determinism's only edge is zero failure probability",
+)
+def run(trials: int = 100, seed: int = 0, fast: bool = False) -> Table:
+    c = 16
+    ks = [1, 8] if fast else [1, 2, 4, 8, 16]
+    trials = min(trials, 30) if fast else trials
+
+    rows = []
+    for k in ks:
+        seeds = trial_seeds(seed, f"E21-{k}", trials)
+        deterministic = [
+            stay_and_scan_pairwise(c, k, derive_rng(s, "det")) for s in seeds
+        ]
+        randomized = [
+            pairwise_rendezvous_slots(c, k, derive_rng(s, "rand")) for s in seeds
+        ]
+        rows.append(
+            (
+                c,
+                k,
+                round(rendezvous_expected_slots(c, k), 1),
+                round(mean(randomized), 1),
+                round(percentile(sorted(float(x) for x in randomized), 0.95), 1),
+                round(mean(deterministic), 1),
+                max(deterministic),
+                c * c,
+            )
+        )
+    return Table(
+        experiment_id="E21",
+        title="Pairwise rendezvous: randomized vs deterministic",
+        claim="randomized mean tracks c^2/k exactly; randomized tails "
+        "(p95) undercut the deterministic c^2 guarantee once k is "
+        "non-constant",
+        columns=(
+            "c",
+            "k",
+            "c^2/k",
+            "rand mean",
+            "rand p95",
+            "det mean",
+            "det max",
+            "c^2 guarantee",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "det max never exceeds the c^2 guarantee (determinism's zero "
+            "failure probability); the §1 comparison is bounds vs bounds: "
+            "rand p95 ~ 3c^2/k beats the flat c^2 guarantee for k >= 4. "
+            "Caveat: with synchronized starts the deterministic *average* "
+            "also benefits from overlap — the guarantee column, not the "
+            "mean, is what O(c^2) describes"
+        ),
+    )

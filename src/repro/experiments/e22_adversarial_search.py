@@ -1,0 +1,70 @@
+"""E22 — adversarial instance search vs the Theorem 4 budget.
+
+Theorem 4's bound quantifies over all overlap-``k`` assignments.  A
+proof covers the space; an empirical reproduction can also *attack* it:
+hill-climb over assignments to maximize COGCAST's completion time and
+check the found worst case still sits inside the Theorem 4 budget.
+
+Failing to beat the bound is the point (as with the game experiments,
+the lower-bound logic in reverse): if the search ever found an instance
+exceeding the budget at the calibrated constant, either the constant or
+the implementation would be wrong.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.theory import cogcast_slot_bound
+from repro.assignment.adversarial_search import find_hard_instance
+from repro.experiments.harness import Table
+from repro.experiments.registry import register
+
+
+@register(
+    "E22",
+    "Adversarial assignment search vs the Theorem 4 budget",
+    "Theorem 4 holds for every assignment: a hill climber maximizing "
+    "completion time stays inside the calibrated budget",
+)
+def run(trials: int = 1, seed: int = 0, fast: bool = False) -> Table:
+    settings = [(12, 6, 2)] if fast else [(12, 6, 2), (16, 8, 2), (8, 12, 3)]
+    steps = 20 if fast else 60
+
+    rows = []
+    for n, c, k in settings:
+        search = find_hard_instance(n, c, k, seed=seed, steps=steps)
+        budget = cogcast_slot_bound(n, c, k)
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                round(search.initial_score, 1),
+                round(search.score, 1),
+                round(search.score / search.initial_score, 2),
+                budget,
+                search.score <= budget,
+                search.evaluations,
+            )
+        )
+    return Table(
+        experiment_id="E22",
+        title="Hill-climbed worst instances vs Theorem 4 budget",
+        claim="the searched worst case never exceeds the w.h.p. budget",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "start mean",
+            "worst mean",
+            "worst/start",
+            "Thm4 budget",
+            "within budget",
+            "evals",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "worst/start > 1 shows the search does find harder instances "
+            "than the shared-core start; 'within budget' holding anyway "
+            "is the reproduced universality of Theorem 4"
+        ),
+    )

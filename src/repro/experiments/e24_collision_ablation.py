@@ -1,0 +1,110 @@
+"""E24 — collision-model ablation (footnote 3).
+
+The broader CRN literature often assumes *all* concurrent messages are
+delivered; the paper deliberately analyses the weaker single-winner
+model.  This ablation quantifies how much the weaker assumption costs:
+COGCAST and COGCOMP run under both models on identical instances.
+
+Expected shape: nearly nothing changes.  For COGCAST, what matters is
+whether an uninformed listener hears *some* copy of the message; one
+winner is as good as many.  COGCOMP's counting phases are likewise
+winner-driven.  Reproducing this near-equality justifies the paper's
+choice to prove its results under the weaker (more realistic) model.
+"""
+
+from __future__ import annotations
+
+from repro.assignment import shared_core
+from repro.core import SumAggregator, run_data_aggregation, run_local_broadcast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import AllDeliveredCollision, Network, SingleWinnerCollision
+from repro.sim.rng import derive_rng
+
+
+def measure_both(n: int, c: int, k: int, seed: int) -> dict[str, float]:
+    """Broadcast + verified aggregation slots under both collision models."""
+    rng = derive_rng(seed, "assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    out: dict[str, float] = {}
+    for name, model in (
+        ("single", SingleWinnerCollision()),
+        ("all", AllDeliveredCollision()),
+    ):
+        broadcast = run_local_broadcast(
+            network,
+            seed=seed,
+            max_slots=200_000,
+            collision=model,
+            require_completion=True,
+        )
+        values = [float(node) for node in range(n)]
+        aggregation = run_data_aggregation(
+            network,
+            values,
+            seed=seed,
+            aggregator=SumAggregator(),
+            collision=model,
+            require_completion=True,
+        )
+        if aggregation.value != sum(values):
+            raise RuntimeError(f"wrong aggregate under {name} model")
+        out[f"cast_{name}"] = broadcast.slots
+        out[f"comp_{name}"] = aggregation.total_slots
+    return out
+
+
+@register(
+    "E24",
+    "Collision-model ablation: single-winner vs all-delivered",
+    "Footnote 3: the paper's weaker single-winner model costs its "
+    "algorithms essentially nothing vs the literature's stronger model",
+)
+def run(trials: int = 10, seed: int = 0, fast: bool = False) -> Table:
+    settings = [(24, 8, 2)] if fast else [(24, 8, 2), (48, 12, 3), (16, 24, 4)]
+    trials = min(trials, 3) if fast else trials
+
+    rows = []
+    for n, c, k in settings:
+        seeds = trial_seeds(seed, f"E24-{n}-{c}-{k}", trials)
+        measurements = [measure_both(n, c, k, s) for s in seeds]
+        cast_single = mean([m["cast_single"] for m in measurements])
+        cast_all = mean([m["cast_all"] for m in measurements])
+        comp_single = mean([m["comp_single"] for m in measurements])
+        comp_all = mean([m["comp_all"] for m in measurements])
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                round(cast_single, 1),
+                round(cast_all, 1),
+                round(cast_single / cast_all, 2),
+                round(comp_single, 1),
+                round(comp_all, 1),
+                round(comp_single / comp_all, 2),
+            )
+        )
+    return Table(
+        experiment_id="E24",
+        title="COGCAST/COGCOMP under both collision models",
+        claim="ratios ~1: one winner per channel is as good as all-delivered",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "cast single",
+            "cast all",
+            "cast ratio",
+            "comp single",
+            "comp all",
+            "comp ratio",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "every aggregation verified exact under both models; ratios "
+            "near 1 reproduce footnote 3's implicit point that the weaker "
+            "model suffices"
+        ),
+    )

@@ -1,0 +1,101 @@
+"""E28 — ablating the simultaneous-activation assumption (extension).
+
+The model assumes "all nodes are activated simultaneously" (§2).
+COGCAST's slot behaviour is memoryless, so the assumption should only
+matter through *who is present to listen*: nodes that wake late simply
+start listening late.  We stagger activations uniformly over a window
+``W`` and measure completion (time until every node, once awake, has
+been informed), sweeping ``W`` from 0 (the paper's model) to several
+multiples of the fault-free completion time.
+
+Expected shape: completion tracks ``W + O(baseline)`` — the last waker
+dominates, and the epidemic absorbs it in O(1) extra rounds because by
+then almost everyone else is informed.  (COGCOMP, whose phases are
+slot-indexed, genuinely needs the assumption; this experiment is about
+the broadcast primitive.)
+"""
+
+from __future__ import annotations
+
+from repro.assignment import shared_core
+from repro.core import CogCast
+from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.registry import register
+from repro.sim import DelayedStartProtocol, Engine, Network, make_views
+from repro.sim.rng import derive_rng
+
+
+def measure_staggered(n: int, c: int, k: int, window: int, seed: int) -> int:
+    """Completion slots with activations uniform over [0, window]."""
+    rng = derive_rng(seed, "assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    views = make_views(network, seed)
+    inners = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+    wake = derive_rng(seed, "wake")
+    protocols = [
+        DelayedStartProtocol(
+            inner, activation_slot=(0 if node == 0 else wake.randrange(window + 1))
+        )
+        for node, inner in enumerate(inners)
+    ]
+    engine = Engine(network, protocols, seed=seed)
+    result = engine.run(
+        500_000, stop_when=lambda _: all(p.informed for p in inners)
+    )
+    if not result.completed:
+        raise RuntimeError("staggered broadcast did not complete")
+    return result.slots
+
+
+@register(
+    "E28",
+    "COGCAST under staggered activation (extension)",
+    "extension: relaxing §2's simultaneous-activation assumption costs "
+    "the broadcast only the wake window itself",
+)
+def run(trials: int = 15, seed: int = 0, fast: bool = False) -> Table:
+    n, c, k = 32, 8, 2
+    windows = [0, 40] if fast else [0, 10, 40, 160]
+    trials = min(trials, 5) if fast else trials
+
+    rows = []
+    baseline = None
+    for window in windows:
+        seeds = trial_seeds(seed, f"E28-{window}", trials)
+        slots = mean([measure_staggered(n, c, k, window, s) for s in seeds])
+        if baseline is None:
+            baseline = slots
+        overhead = slots - window
+        rows.append(
+            (
+                n,
+                c,
+                k,
+                window,
+                round(slots, 1),
+                round(overhead, 1),
+                round(overhead / baseline, 2),
+            )
+        )
+    return Table(
+        experiment_id="E28",
+        title="COGCAST completion vs activation window",
+        claim="slots ~ window + O(baseline): late wakers join a saturated "
+        "epidemic and are informed almost immediately",
+        columns=(
+            "n",
+            "c",
+            "k",
+            "wake window W",
+            "mean slots",
+            "slots - W",
+            "(slots-W)/base",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "the (slots-W)/base column staying near (or below) 1 shows "
+            "the assumption is a convenience for COGCAST, not a crutch; "
+            "COGCOMP's slot-indexed phases do need it"
+        ),
+    )

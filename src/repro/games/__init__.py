@@ -1,0 +1,34 @@
+"""Lower-bound machinery: hitting games, players, and the Lemma 12 reduction."""
+
+from repro.games.bipartite import (
+    Edge,
+    HittingGame,
+    LazyHittingGame,
+    bipartite_hitting_game,
+    complete_hitting_game,
+    sample_matching,
+)
+from repro.games.players import (
+    DiagonalPlayer,
+    ExhaustivePlayer,
+    Player,
+    UniformRandomPlayer,
+    play,
+)
+from repro.games.reduction import BroadcastReductionPlayer, ReductionOutcome
+
+__all__ = [
+    "BroadcastReductionPlayer",
+    "DiagonalPlayer",
+    "Edge",
+    "ExhaustivePlayer",
+    "HittingGame",
+    "LazyHittingGame",
+    "Player",
+    "ReductionOutcome",
+    "UniformRandomPlayer",
+    "bipartite_hitting_game",
+    "complete_hitting_game",
+    "play",
+    "sample_matching",
+]

@@ -1,0 +1,167 @@
+"""The bipartite hitting games behind the paper's lower bounds (Section 6).
+
+Two games, both played between a *player* and a *referee* over the
+complete bipartite graph on vertex sets ``A = {a_1..a_c}`` and
+``B = {b_1..b_c}``:
+
+- the **(c, k)-bipartite hitting game** (used for ``k <= c/2``): the
+  referee privately picks a uniformly random matching of size ``k``;
+  each round the player proposes one edge and wins if it is in the
+  matching.  Lemma 11: no player wins within ``c^2/(alpha k)`` rounds
+  with probability 1/2, ``alpha = 2 (beta/(beta-1))^2``.
+- the **c-complete bipartite hitting game** (used for ``k > c/2``): the
+  referee picks a uniformly random *perfect* matching.  Lemma 14: at
+  least ``c/3`` rounds are needed to win with probability 1/2.
+
+Edges are ``(a_index, b_index)`` pairs of 0-based vertex indices.  The
+referee's matching is sampled exactly as in the Lemma 11 proof: edges
+chosen one at a time with uniform independent randomness over the
+remaining vertices.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.types import GameError
+
+Edge = tuple[int, int]
+
+
+def sample_matching(c: int, k: int, rng: random.Random) -> frozenset[Edge]:
+    """Sample a uniformly random matching of size ``k`` in ``K_{c,c}``.
+
+    Mirrors the referee in Lemma 11's proof: pick the first edge
+    uniformly among all ``c^2``, remove both endpoints, repeat.
+    """
+    if not 1 <= k <= c:
+        raise ValueError(f"invalid c={c}, k={k}")
+    a_free = list(range(c))
+    b_free = list(range(c))
+    edges: set[Edge] = set()
+    for _ in range(k):
+        a = a_free.pop(rng.randrange(len(a_free)))
+        b = b_free.pop(rng.randrange(len(b_free)))
+        edges.add((a, b))
+    return frozenset(edges)
+
+
+@dataclass
+class HittingGame:
+    """One live game instance: a hidden matching plus a round counter.
+
+    The referee interface is :meth:`propose`; it returns whether the
+    proposed edge is in the hidden matching and advances the round
+    count.  ``won`` latches after the first hit.
+    """
+
+    c: int
+    matching: frozenset[Edge]
+    rounds: int = 0
+    won: bool = False
+
+    def propose(self, edge: Edge) -> bool:
+        a, b = edge
+        if not (0 <= a < self.c and 0 <= b < self.c):
+            raise GameError(f"edge {edge} outside K_{{{self.c},{self.c}}}")
+        if self.won:
+            raise GameError("game already won")
+        self.rounds += 1
+        if edge in self.matching:
+            self.won = True
+        return self.won
+
+    @property
+    def k(self) -> int:
+        return len(self.matching)
+
+
+def bipartite_hitting_game(c: int, k: int, rng: random.Random) -> HittingGame:
+    """A fresh (c, k)-bipartite hitting game with a random hidden matching."""
+    return HittingGame(c=c, matching=sample_matching(c, k, rng))
+
+
+def complete_hitting_game(c: int, rng: random.Random) -> HittingGame:
+    """A fresh c-complete bipartite hitting game (hidden perfect matching).
+
+    The perfect matching is a uniform bijection from ``A`` to ``B``.
+    """
+    permutation = list(range(c))
+    rng.shuffle(permutation)
+    matching = frozenset((a, b) for a, b in enumerate(permutation))
+    return HittingGame(c=c, matching=matching)
+
+
+class LazyHittingGame:
+    """A *lazy-adversary* referee for the (c, k)-bipartite hitting game.
+
+    Instead of committing to a matching up front, the referee answers
+    "miss" as long as some ``k``-matching avoids everything proposed so
+    far, and concedes only when every remaining ``k``-matching must
+    contain the newest proposal.  Both answers are always consistent
+    with some hidden matching, so any lower bound witnessed against this
+    referee holds against the uniform one — it is the worst case the
+    Lemma 11 randomized referee is a tractable stand-in for.
+
+    Implementation: keep one witness ``k``-matching avoiding the
+    proposal set.  A proposal outside the witness is a free "miss";
+    when the proposal hits the witness we search for a replacement
+    matching in the complement graph (Hopcroft–Karp via networkx) and
+    concede only if none exists.
+    """
+
+    def __init__(self, c: int, k: int) -> None:
+        if not 1 <= k <= c:
+            raise ValueError(f"invalid c={c}, k={k}")
+        self.c = c
+        self._k = k
+        self.rounds = 0
+        self.won = False
+        self._proposed: set[Edge] = set()
+        # Initial witness: the identity partial matching.
+        self._witness: set[Edge] = {(i, i) for i in range(k)}
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def _find_witness(self) -> set[Edge] | None:
+        """A k-matching in K_{c,c} avoiding every proposed edge, if any."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        left = [("a", i) for i in range(self.c)]
+        right = [("b", i) for i in range(self.c)]
+        graph.add_nodes_from(left, bipartite=0)
+        graph.add_nodes_from(right, bipartite=1)
+        for a in range(self.c):
+            for b in range(self.c):
+                if (a, b) not in self._proposed:
+                    graph.add_edge(("a", a), ("b", b))
+        matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=left)
+        edges = {
+            (node[1], mate[1])
+            for node, mate in matching.items()
+            if node[0] == "a"
+        }
+        if len(edges) < self._k:
+            return None
+        return set(list(edges)[: self._k])
+
+    def propose(self, edge: Edge) -> bool:
+        a, b = edge
+        if not (0 <= a < self.c and 0 <= b < self.c):
+            raise GameError(f"edge {edge} outside K_{{{self.c},{self.c}}}")
+        if self.won:
+            raise GameError("game already won")
+        self.rounds += 1
+        self._proposed.add(edge)
+        if edge not in self._witness:
+            return False
+        replacement = self._find_witness()
+        if replacement is None:
+            self.won = True
+            return True
+        self._witness = replacement
+        return False

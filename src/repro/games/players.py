@@ -1,0 +1,99 @@
+"""Players for the bipartite hitting games.
+
+Lemma 11 allows the player to be "an arbitrary probabilistic automaton";
+these are the natural candidates an adversarial prover would try, and
+experiments E07/E08 show *none* of them beats the proved bound — the
+empirical content of the lower bounds.
+
+- :class:`UniformRandomPlayer` — memoryless uniform proposals.
+- :class:`ExhaustivePlayer` — proposes every edge exactly once in a
+  uniformly random order (the strongest memory-ful strategy against a
+  uniform referee: any fixed order has the same win-round distribution
+  by symmetry, and never repeating dominates repeating).
+- :class:`DiagonalPlayer` — a deterministic sweep ``(i, i), (i, i+1),
+  ...`` included to show determinism does not help either.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.games.bipartite import Edge, HittingGame
+from repro.types import GameError
+
+
+class Player(abc.ABC):
+    """A hitting-game player: produces one edge proposal per round."""
+
+    @abc.abstractmethod
+    def next_proposal(self) -> Edge:
+        """The edge to propose this round."""
+
+    def observe(self, edge: Edge, won: bool) -> None:
+        """Feedback hook; default players ignore losses (a loss of edge
+        ``e`` only rules out ``e`` itself, which stateful players track
+        internally)."""
+        return None
+
+
+class UniformRandomPlayer(Player):
+    """Proposes a uniformly random edge each round (with repetition)."""
+
+    def __init__(self, c: int, rng: random.Random) -> None:
+        self.c = c
+        self.rng = rng
+
+    def next_proposal(self) -> Edge:
+        return (self.rng.randrange(self.c), self.rng.randrange(self.c))
+
+
+class ExhaustivePlayer(Player):
+    """Proposes all ``c^2`` edges exactly once, in random order."""
+
+    def __init__(self, c: int, rng: random.Random) -> None:
+        self.c = c
+        self._edges: list[Edge] = [(a, b) for a in range(c) for b in range(c)]
+        rng.shuffle(self._edges)
+        self._index = 0
+
+    def next_proposal(self) -> Edge:
+        if self._index >= len(self._edges):
+            raise GameError("exhausted all edges without winning")
+        edge = self._edges[self._index]
+        self._index += 1
+        return edge
+
+
+class DiagonalPlayer(Player):
+    """Deterministic sweep: ``(0,0), (1,1), ..., (0,1), (1,2), ...``.
+
+    Enumerates edges by diagonal offset; covers all ``c^2`` edges in
+    ``c^2`` rounds with no randomness.
+    """
+
+    def __init__(self, c: int) -> None:
+        self.c = c
+        self._round = 0
+
+    def next_proposal(self) -> Edge:
+        offset, a = divmod(self._round, self.c)
+        if offset >= self.c:
+            raise GameError("exhausted all edges without winning")
+        self._round += 1
+        return (a, (a + offset) % self.c)
+
+
+def play(game: HittingGame, player: Player, *, max_rounds: int) -> int | None:
+    """Drive one game to a win or the round budget.
+
+    Returns the number of rounds used on a win, or ``None`` when the
+    budget ran out.
+    """
+    for _ in range(max_rounds):
+        edge = player.next_proposal()
+        won = game.propose(edge)
+        player.observe(edge, won)
+        if won:
+            return game.rounds
+    return None

@@ -1,0 +1,208 @@
+"""The Lemma 12 reduction: a broadcast algorithm becomes a hitting-game player.
+
+Construction (paper, Section 6): the player simulates an ``n``-node
+network in which the source holds channel set ``A`` and the other
+``n - 1`` nodes all hold the same set ``B``, with the *unknown* overlap
+between ``A`` and ``B`` being exactly the referee's hidden ``k``-edge
+matching.  Each simulated slot, for every non-source node ``u`` the
+player proposes the pair ``(a_r, b_r^u)`` — the source's chosen
+``A``-vertex against ``u``'s chosen ``B``-vertex — skipping proposals
+it has made before (so at most ``min{c, n}`` fresh proposals per slot).
+
+If no proposal wins, the source provably shares no channel with any
+listener this slot, so the player completes the slot by simulating *no*
+communication involving the source, while resolving the non-source
+nodes' communication on ``B`` normally (the player created those nodes
+and knows everything about them).  The first slot the algorithm would
+have made broadcast progress is exactly a slot in which some proposal
+wins the game.
+
+Consequence: an algorithm solving local broadcast in ``g`` slots with
+probability 1/2 yields a player winning in ``min{c, n} * g`` rounds
+with probability 1/2, transferring Lemma 11's bound into
+Theorem 15's ``Omega((c/k) * max{1, c/n})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.games.bipartite import Edge, HittingGame
+from repro.sim.actions import Broadcast, Envelope, Idle, SlotOutcome
+from repro.sim.collision import CollisionModel, SingleWinnerCollision
+from repro.sim.protocol import NodeView, Protocol
+from repro.sim.rng import derive_rng
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionOutcome:
+    """Result of running a broadcast algorithm through the reduction.
+
+    Attributes
+    ----------
+    won: whether some proposal hit the hidden matching.
+    game_rounds: proposals made (the hitting game's round count).
+    simulated_slots: broadcast slots simulated.
+    proposals_per_slot_bound: ``min{c, n}``, Lemma 12's per-slot cap —
+        callers assert ``game_rounds <= proposals_per_slot_bound *
+        simulated_slots``.
+    """
+
+    won: bool
+    game_rounds: int
+    simulated_slots: int
+    proposals_per_slot_bound: int
+
+
+class BroadcastReductionPlayer:
+    """Hosts a broadcast protocol inside the Lemma 12 simulation.
+
+    Parameters
+    ----------
+    game:
+        A live hitting game whose hidden matching defines the unknown
+        ``A``/``B`` overlap (``game.c`` must equal ``c``).
+    protocol_factory:
+        Builds each simulated node's protocol from its
+        :class:`~repro.sim.protocol.NodeView` (node 0 is the source).
+    n:
+        Number of simulated nodes.
+    k:
+        Overlap advertised to the protocols (must match the game's
+        matching size).
+    seed:
+        Seed for the simulated nodes' RNGs and collision tie-breaks.
+    """
+
+    def __init__(
+        self,
+        game: HittingGame,
+        protocol_factory: Callable[[NodeView], Protocol],
+        *,
+        n: int,
+        k: int,
+        seed: int = 0,
+        collision: CollisionModel | None = None,
+    ) -> None:
+        if game.k != k:
+            raise ValueError(f"game matching size {game.k} != advertised k={k}")
+        self.game = game
+        self.c = game.c
+        self.n = n
+        self.k = k
+        self.collision = collision or SingleWinnerCollision()
+        self._collision_rng = derive_rng(seed, "reduction-collision")
+        self._proposed: set[Edge] = set()
+
+        # Per-node local-label permutations over B for the n-1 clones
+        # (the source's labels map straight onto A-vertices).
+        self._b_vertex_of: dict[NodeId, list[int]] = {}
+        for node in range(1, n):
+            order = list(range(self.c))
+            derive_rng(seed, "reduction-labels", node).shuffle(order)
+            self._b_vertex_of[node] = order
+
+        views = [
+            NodeView(
+                node_id=node,
+                num_channels=self.c,
+                overlap=k,
+                num_nodes=n,
+                rng=derive_rng(seed, "reduction-node", node),
+            )
+            for node in range(n)
+        ]
+        self.protocols = [protocol_factory(view) for view in views]
+
+    def run(self, max_slots: int) -> ReductionOutcome:
+        """Simulate up to *max_slots* slots or until the game is won."""
+        for slot in range(max_slots):
+            if self._simulate_slot(slot):
+                return ReductionOutcome(
+                    won=True,
+                    game_rounds=self.game.rounds,
+                    simulated_slots=slot + 1,
+                    proposals_per_slot_bound=min(self.c, self.n),
+                )
+        return ReductionOutcome(
+            won=False,
+            game_rounds=self.game.rounds,
+            simulated_slots=max_slots,
+            proposals_per_slot_bound=min(self.c, self.n),
+        )
+
+    def _simulate_slot(self, slot: int) -> bool:
+        """Run one simulated slot; return True when the game was won."""
+        actions = {
+            node: protocol.begin_slot(slot)
+            for node, protocol in enumerate(self.protocols)
+            if not protocol.done
+        }
+
+        # Phase A: the guesses.  The source's A-vertex against each
+        # participating non-source node's B-vertex.
+        source_action = actions.get(0)
+        if source_action is not None and not isinstance(source_action, Idle):
+            a_vertex = source_action.label
+            for node in range(1, self.n):
+                action = actions.get(node)
+                if action is None or isinstance(action, Idle):
+                    continue
+                b_vertex = self._b_vertex_of[node][action.label]
+                edge: Edge = (a_vertex, b_vertex)
+                if edge in self._proposed:
+                    continue
+                self._proposed.add(edge)
+                if self.game.propose(edge):
+                    return True
+
+        # Phase B: no proposal won, so the source is isolated this slot.
+        # Simulate non-source communication on B normally.
+        by_vertex_broadcasts: dict[int, list[tuple[NodeId, Envelope]]] = {}
+        by_vertex_listeners: dict[int, list[NodeId]] = {}
+        for node in range(1, self.n):
+            action = actions.get(node)
+            if action is None or isinstance(action, Idle):
+                continue
+            vertex = self._b_vertex_of[node][action.label]
+            if isinstance(action, Broadcast):
+                envelope = Envelope(sender=node, payload=action.payload)
+                by_vertex_broadcasts.setdefault(vertex, []).append((node, envelope))
+            else:
+                by_vertex_listeners.setdefault(vertex, []).append(node)
+
+        outcomes: dict[NodeId, SlotOutcome] = {}
+        for vertex in set(by_vertex_broadcasts) | set(by_vertex_listeners):
+            resolution = self.collision.resolve(
+                [env for _, env in by_vertex_broadcasts.get(vertex, [])],
+                self._collision_rng,
+            )
+            for node, envelope in by_vertex_broadcasts.get(vertex, []):
+                success = resolution.winner is not None and envelope is resolution.winner
+                outcomes[node] = SlotOutcome(
+                    slot=slot,
+                    action=actions[node],
+                    received=None if success else resolution.winner,
+                    success=success,
+                )
+            for node in by_vertex_listeners.get(vertex, []):
+                outcomes[node] = SlotOutcome(
+                    slot=slot, action=actions[node], received=resolution.winner
+                )
+
+        # The source: broadcasting succeeds unheard; listening hears silence.
+        if 0 in actions:
+            action = actions[0]
+            outcomes[0] = SlotOutcome(
+                slot=slot,
+                action=action,
+                received=None,
+                success=True if isinstance(action, Broadcast) else None,
+            )
+
+        for node, action in actions.items():
+            outcome = outcomes.get(node) or SlotOutcome(slot=slot, action=action)
+            self.protocols[node].end_slot(slot, outcome)
+        return False

@@ -1,0 +1,106 @@
+"""Slot-synchronous cognitive radio network simulator.
+
+This package implements the paper's model (Section 2): synchronous
+slots, per-node channel sets with local labels, guaranteed pairwise
+overlap, and the single-winner collision abstraction.  It also hosts the
+extensions the paper discusses: dynamic per-slot assignments and
+n-uniform jamming adversaries.
+"""
+
+from repro.sim.actions import (
+    Action,
+    Broadcast,
+    Envelope,
+    Idle,
+    Listen,
+    SlotOutcome,
+)
+from repro.sim.adversary import (
+    Jammer,
+    NullJammer,
+    RandomJammer,
+    SweepJammer,
+    TargetedJammer,
+)
+from repro.sim.channels import (
+    AssignmentSchedule,
+    ChannelAssignment,
+    DynamicSchedule,
+    Network,
+    StaticSchedule,
+)
+from repro.sim.collision import (
+    AllDeliveredCollision,
+    CollisionModel,
+    DestructiveCollision,
+    Resolution,
+    SingleWinnerCollision,
+)
+from repro.sim.engine import Engine, RunResult, build_engine, make_views
+from repro.sim.faults import (
+    CrashFault,
+    Fault,
+    FaultyProtocol,
+    OutageFault,
+    with_faults,
+)
+from repro.sim.metrics import (
+    TraceMetrics,
+    channel_utilization,
+    compute_metrics,
+    informed_curve,
+)
+from repro.sim.persistence import load_trace, save_trace
+from repro.sim.protocol import IdleProtocol, NodeView, Protocol
+from repro.sim.rng import derive_rng, derive_seed, spawn_rngs
+from repro.sim.trace import ChannelEvent, EventTrace
+from repro.sim.wrappers import BoundedProtocol, DelayedStartProtocol
+
+__all__ = [
+    "Action",
+    "AllDeliveredCollision",
+    "AssignmentSchedule",
+    "BoundedProtocol",
+    "Broadcast",
+    "DelayedStartProtocol",
+    "ChannelAssignment",
+    "ChannelEvent",
+    "CollisionModel",
+    "CrashFault",
+    "Fault",
+    "FaultyProtocol",
+    "OutageFault",
+    "TraceMetrics",
+    "channel_utilization",
+    "compute_metrics",
+    "informed_curve",
+    "load_trace",
+    "save_trace",
+    "with_faults",
+    "DestructiveCollision",
+    "DynamicSchedule",
+    "Engine",
+    "Envelope",
+    "EventTrace",
+    "Idle",
+    "IdleProtocol",
+    "Jammer",
+    "Listen",
+    "Network",
+    "NodeView",
+    "NullJammer",
+    "Protocol",
+    "RandomJammer",
+    "Resolution",
+    "RunResult",
+    "SingleWinnerCollision",
+    "SlotOutcome",
+    "StaticSchedule",
+    "SweepJammer",
+    "TargetedJammer",
+    "build_engine",
+    "derive_rng",
+    "derive_seed",
+    "make_views",
+    "spawn_rngs",
+]

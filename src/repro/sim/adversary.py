@@ -1,0 +1,104 @@
+"""Jamming adversaries (the n-uniform jammer of Theorem 18).
+
+An *x-uniform* jamming adversary partitions the nodes into ``x`` groups
+and makes an independent jamming decision for each group each slot; the
+*n-uniform* adversary (one group per node) can jam a different channel
+set at every node.  Theorem 18 reduces jamming-resistant broadcast in a
+multi-channel network to local broadcast in a *dynamic* cognitive radio
+network: jamming ``k'`` channels at a node is the same as removing those
+channels from the node's available set that slot, and two nodes each
+missing at most ``k'`` of the same ``c`` channels still share at least
+``c - 2k'`` channels.
+
+The engine consumes a :class:`Jammer` by asking, each slot, which
+physical channels are jammed *at each node*.  A jammed channel delivers
+noise to that node: its listen hears nothing; its broadcast fails and is
+heard by no one.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Mapping, Sequence
+
+from repro.types import Channel, NodeId, Slot
+
+
+class Jammer(abc.ABC):
+    """Decides, per slot, the jammed channel set at each node."""
+
+    @abc.abstractmethod
+    def jammed(self, slot: Slot, num_nodes: int) -> Mapping[NodeId, frozenset[Channel]]:
+        """Channels jammed at each node during *slot*.
+
+        Nodes absent from the mapping are unjammed.  Implementations
+        must be deterministic given their constructor RNG (the engine
+        calls this exactly once per slot).
+        """
+
+
+class NullJammer(Jammer):
+    """No jamming.  The engine default."""
+
+    def jammed(self, slot: Slot, num_nodes: int) -> Mapping[NodeId, frozenset[Channel]]:
+        return {}
+
+
+class RandomJammer(Jammer):
+    """Jams *budget* uniformly random channels per node per slot.
+
+    This is the strongest pattern an n-uniform but *oblivious* jammer
+    can mount against a memoryless algorithm like COGCAST: since the
+    algorithm's channel choice is uniform and independent each slot,
+    adaptivity buys the jammer nothing against it.
+    """
+
+    def __init__(self, universe: Sequence[Channel], budget: int, rng: random.Random) -> None:
+        if budget > len(universe):
+            raise ValueError("jamming budget exceeds channel universe")
+        self.universe = list(universe)
+        self.budget = budget
+        self.rng = rng
+
+    def jammed(self, slot: Slot, num_nodes: int) -> Mapping[NodeId, frozenset[Channel]]:
+        return {
+            node: frozenset(self.rng.sample(self.universe, self.budget))
+            for node in range(num_nodes)
+        }
+
+
+class SweepJammer(Jammer):
+    """Jams a contiguous window of *budget* channels, sliding one per slot.
+
+    All nodes see the same window (a 1-uniform adversary): models a
+    narrowband interferer sweeping the spectrum.
+    """
+
+    def __init__(self, universe: Sequence[Channel], budget: int) -> None:
+        if budget > len(universe):
+            raise ValueError("jamming budget exceeds channel universe")
+        self.universe = sorted(universe)
+        self.budget = budget
+
+    def jammed(self, slot: Slot, num_nodes: int) -> Mapping[NodeId, frozenset[Channel]]:
+        size = len(self.universe)
+        start = slot % size
+        window = frozenset(
+            self.universe[(start + offset) % size] for offset in range(self.budget)
+        )
+        return {node: window for node in range(num_nodes)}
+
+
+class TargetedJammer(Jammer):
+    """Per-node jamming of a fixed channel subset (full n-uniform power).
+
+    ``targets[u]`` is the channel set permanently jammed at node ``u``.
+    Models an adversary that learned each node's most-used channels.
+    """
+
+    def __init__(self, targets: Mapping[NodeId, frozenset[Channel]]) -> None:
+        self.targets = {node: frozenset(chans) for node, chans in targets.items()}
+
+    def jammed(self, slot: Slot, num_nodes: int) -> Mapping[NodeId, frozenset[Channel]]:
+        return self.targets

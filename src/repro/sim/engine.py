@@ -1,0 +1,274 @@
+"""The slot-synchronous simulation engine.
+
+One :class:`Engine` drives one execution: each slot it collects an
+action from every live protocol, translates local labels to physical
+channels via the :class:`~repro.sim.channels.Network`, applies the
+jammer (if any), resolves contention per channel with the configured
+:class:`~repro.sim.collision.CollisionModel`, and feeds every node its
+:class:`~repro.sim.actions.SlotOutcome`.
+
+The engine enforces the information model: protocols only ever see local
+labels and their own outcomes.  All global knowledge (physical channels,
+who collided with whom) lives here and, optionally, in an
+:class:`~repro.sim.trace.EventTrace` for analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.sim.actions import Action, Broadcast, Envelope, Idle, Listen, SlotOutcome
+from repro.sim.adversary import Jammer, NullJammer
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel, SingleWinnerCollision
+from repro.sim.protocol import NodeView, Protocol
+from repro.sim.rng import derive_rng
+from repro.sim.trace import ChannelEvent, EventTrace
+from repro.types import Channel, NodeId, SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Summary of one engine run.
+
+    Attributes
+    ----------
+    slots: number of slots executed.
+    completed: whether the stop condition was met (as opposed to the
+        slot budget running out).
+    all_done: whether every protocol had terminated when the run ended.
+    """
+
+    slots: int
+    completed: bool
+    all_done: bool
+
+
+class Engine:
+    """Drives a set of per-node protocols over a network.
+
+    Parameters
+    ----------
+    network:
+        The world model (channel schedule + parameters).
+    protocols:
+        One protocol per node, indexed by node id.
+    collision:
+        Contention model; defaults to the paper's single-winner model.
+    seed:
+        Root seed for the engine's own randomness (collision tie-breaks).
+        Node randomness comes from each protocol's own RNG.
+    trace:
+        Optional event trace to populate.
+    jammer:
+        Optional jamming adversary.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        protocols: Sequence[Protocol],
+        *,
+        collision: CollisionModel | None = None,
+        seed: int = 0,
+        trace: EventTrace | None = None,
+        jammer: Jammer | None = None,
+    ) -> None:
+        if len(protocols) != network.num_nodes:
+            raise ValueError(
+                f"{len(protocols)} protocols for {network.num_nodes} nodes"
+            )
+        self.network = network
+        self.protocols = list(protocols)
+        self.collision = collision or SingleWinnerCollision()
+        self.rng = derive_rng(seed, "engine-collision")
+        self.trace = trace
+        self.jammer = jammer or NullJammer()
+        self.slot = 0
+
+    @property
+    def all_done(self) -> bool:
+        return all(protocol.done for protocol in self.protocols)
+
+    def step(self) -> None:
+        """Execute one synchronous slot."""
+        slot = self.slot
+        num_nodes = self.network.num_nodes
+
+        actions: dict[NodeId, Action] = {}
+        for node, protocol in enumerate(self.protocols):
+            if protocol.done:
+                continue
+            actions[node] = protocol.begin_slot(slot)
+
+        jammed_at = self.jammer.jammed(slot, num_nodes)
+
+        # Group participants by physical channel.
+        broadcasters: dict[Channel, list[tuple[NodeId, Envelope]]] = {}
+        listeners: dict[Channel, list[NodeId]] = {}
+        jammed_participants: dict[Channel, set[NodeId]] = {}
+        tuned: dict[NodeId, Channel] = {}
+        for node, action in actions.items():
+            if isinstance(action, Idle):
+                continue
+            channel = self.network.physical(slot, node, action.label)
+            tuned[node] = channel
+            if channel in jammed_at.get(node, frozenset()):
+                jammed_participants.setdefault(channel, set()).add(node)
+                continue
+            if isinstance(action, Broadcast):
+                envelope = Envelope(sender=node, payload=action.payload)
+                broadcasters.setdefault(channel, []).append((node, envelope))
+            else:
+                listeners.setdefault(channel, []).append(node)
+
+        # Resolve contention channel by channel.
+        outcomes: dict[NodeId, SlotOutcome] = {}
+        active_channels = sorted(set(broadcasters) | set(listeners) | set(jammed_participants))
+        for channel in active_channels:
+            channel_broadcasters = broadcasters.get(channel, [])
+            channel_listeners = listeners.get(channel, [])
+            channel_jammed = jammed_participants.get(channel, set())
+            resolution = self.collision.resolve(
+                [envelope for _, envelope in channel_broadcasters], self.rng
+            )
+            winner = resolution.winner
+
+            for node, envelope in channel_broadcasters:
+                success = winner is not None and envelope is winner
+                extras = tuple(
+                    extra for extra in resolution.extras if extra is not envelope
+                )
+                outcomes[node] = SlotOutcome(
+                    slot=slot,
+                    action=actions[node],
+                    received=None if success else winner,
+                    success=success,
+                    extra_received=extras,
+                )
+            for node in channel_listeners:
+                outcomes[node] = SlotOutcome(
+                    slot=slot,
+                    action=actions[node],
+                    received=winner,
+                    extra_received=resolution.extras,
+                )
+            for node in channel_jammed:
+                outcomes[node] = SlotOutcome(
+                    slot=slot,
+                    action=actions[node],
+                    received=None,
+                    success=False if isinstance(actions[node], Broadcast) else None,
+                    jammed=True,
+                )
+
+            if self.trace is not None:
+                self.trace.record(
+                    ChannelEvent(
+                        slot=slot,
+                        channel=channel,
+                        broadcasters=tuple(
+                            node for node, _ in channel_broadcasters
+                        )
+                        + tuple(
+                            node
+                            for node in channel_jammed
+                            if isinstance(actions[node], Broadcast)
+                        ),
+                        listeners=tuple(channel_listeners)
+                        + tuple(
+                            node
+                            for node in channel_jammed
+                            if isinstance(actions[node], Listen)
+                        ),
+                        winner=winner,
+                        jammed_nodes=frozenset(channel_jammed),
+                    )
+                )
+
+        # Idle nodes still get an outcome so protocols see every slot.
+        for node, action in actions.items():
+            if node not in outcomes:
+                outcomes[node] = SlotOutcome(slot=slot, action=action)
+
+        for node, outcome in outcomes.items():
+            self.protocols[node].end_slot(slot, outcome)
+
+        self.slot += 1
+
+    def run(
+        self,
+        max_slots: int,
+        *,
+        stop_when: Callable[["Engine"], bool] | None = None,
+        require_completion: bool = False,
+    ) -> RunResult:
+        """Run until the stop condition, all protocols terminate, or the budget.
+
+        Parameters
+        ----------
+        max_slots:
+            Hard budget on the number of slots executed by this call.
+        stop_when:
+            Optional predicate evaluated after every slot; the run stops
+            as soon as it returns True.  When omitted, the run stops when
+            every protocol reports :attr:`Protocol.done`.
+        require_completion:
+            When True, raise :class:`SimulationError` if the budget runs
+            out before the stop condition is met.
+        """
+        condition = stop_when if stop_when is not None else (lambda engine: engine.all_done)
+        executed = 0
+        completed = condition(self)
+        while not completed and executed < max_slots:
+            self.step()
+            executed += 1
+            completed = condition(self)
+        if require_completion and not completed:
+            raise SimulationError(
+                f"run did not complete within {max_slots} slots"
+            )
+        return RunResult(slots=executed, completed=completed, all_done=self.all_done)
+
+
+def make_views(network: Network, seed: int) -> list[NodeView]:
+    """Construct one :class:`NodeView` per node with independent RNGs."""
+    return [
+        NodeView(
+            node_id=node,
+            num_channels=network.channels_per_node,
+            overlap=network.overlap,
+            num_nodes=network.num_nodes,
+            rng=derive_rng(seed, "node", node),
+        )
+        for node in range(network.num_nodes)
+    ]
+
+
+def build_engine(
+    network: Network,
+    protocol_factory: Callable[[NodeView], Protocol],
+    *,
+    seed: int = 0,
+    collision: CollisionModel | None = None,
+    trace: EventTrace | None = None,
+    jammer: Jammer | None = None,
+) -> Engine:
+    """Convenience constructor: build views, protocols, and the engine.
+
+    *protocol_factory* receives each node's :class:`NodeView` and returns
+    that node's protocol (it can branch on ``view.node_id`` to make one
+    node the source).
+    """
+    views = make_views(network, seed)
+    protocols = [protocol_factory(view) for view in views]
+    return Engine(
+        network,
+        protocols,
+        collision=collision,
+        seed=seed,
+        trace=trace,
+        jammer=jammer,
+    )

@@ -1,0 +1,126 @@
+"""Fault injection: crash-stop and transient-outage wrappers.
+
+The paper motivates COGCAST's stateless design with robustness:
+*"because nodes do the same thing in every slot, it can gracefully
+handle changes to the network conditions, temporary faults, and so on"*
+(Section 1).  This module makes that claim testable:
+
+- :class:`CrashFault` — the node dies at a given slot and never acts
+  again (crash-stop).
+- :class:`OutageFault` — the node's radio is off during given slot
+  intervals (sleeps through them, then resumes).  The wrapped protocol
+  still observes every slot — it just sees itself idle during outages —
+  so slot-indexed protocols (COGCOMP's phases) stay aligned.
+
+Faults wrap a protocol: ``FaultyProtocol(inner, faults)``.  The wrapper
+composes with any protocol and any engine feature (jamming, tracing,
+dynamic schedules).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.actions import Action, Idle, SlotOutcome
+from repro.sim.protocol import Protocol
+from repro.types import Slot
+
+
+class Fault(abc.ABC):
+    """Decides, per slot, whether the node is incapacitated."""
+
+    @abc.abstractmethod
+    def active(self, slot: Slot) -> bool:
+        """True when the fault suppresses the node during *slot*."""
+
+    @property
+    def permanent_from(self) -> Slot | None:
+        """First slot of a permanent fault, or ``None`` for transient ones."""
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class CrashFault(Fault):
+    """Crash-stop at ``crash_slot``: the node never acts again."""
+
+    crash_slot: Slot
+
+    def active(self, slot: Slot) -> bool:
+        return slot >= self.crash_slot
+
+    @property
+    def permanent_from(self) -> Slot | None:
+        return self.crash_slot
+
+
+@dataclass(frozen=True, slots=True)
+class OutageFault(Fault):
+    """Radio off during each half-open ``[start, end)`` interval."""
+
+    intervals: tuple[tuple[Slot, Slot], ...]
+
+    def __post_init__(self) -> None:
+        for start, end in self.intervals:
+            if end <= start:
+                raise ValueError(f"empty outage interval [{start}, {end})")
+
+    def active(self, slot: Slot) -> bool:
+        return any(start <= slot < end for start, end in self.intervals)
+
+
+class FaultyProtocol(Protocol):
+    """Wraps *inner*, suppressing it whenever any fault is active.
+
+    During a faulty slot the node idles; the inner protocol is fed a
+    synthesized idle outcome so its slot counter (if any) stays in sync.
+    After a :class:`CrashFault` fires, the wrapper reports ``done`` so
+    the engine stops scheduling the node entirely.
+    """
+
+    def __init__(self, inner: Protocol, faults: Sequence[Fault]) -> None:
+        self.inner = inner
+        self.faults = list(faults)
+        self._crashed = False
+
+    def _fault_active(self, slot: Slot) -> bool:
+        active = False
+        for fault in self.faults:
+            if fault.active(slot):
+                active = True
+                if fault.permanent_from is not None:
+                    self._crashed = True
+        return active
+
+    def begin_slot(self, slot: int) -> Action:
+        if self._fault_active(slot):
+            self._suppressed = True
+            return Idle()
+        self._suppressed = False
+        return self.inner.begin_slot(slot)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if getattr(self, "_suppressed", False):
+            self.inner.end_slot(slot, SlotOutcome(slot=slot, action=Idle()))
+            return
+        self.inner.end_slot(slot, outcome)
+
+    @property
+    def done(self) -> bool:
+        return self._crashed or self.inner.done
+
+
+def with_faults(
+    protocols: Sequence[Protocol],
+    fault_plan: dict[int, Sequence[Fault]],
+) -> list[Protocol]:
+    """Wrap the protocols named in *fault_plan*; pass others through.
+
+    ``fault_plan[node]`` is the fault list for that node.
+    """
+    wrapped: list[Protocol] = []
+    for node, protocol in enumerate(protocols):
+        faults = fault_plan.get(node)
+        wrapped.append(FaultyProtocol(protocol, faults) if faults else protocol)
+    return wrapped

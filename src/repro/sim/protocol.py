@@ -1,0 +1,97 @@
+"""The protocol interface that node algorithms implement.
+
+A :class:`Protocol` is a per-node state machine driven by the engine:
+
+- :meth:`Protocol.begin_slot` is called at the start of each slot and
+  must return an :class:`~repro.sim.actions.Action`;
+- :meth:`Protocol.end_slot` is called with the resulting
+  :class:`~repro.sim.actions.SlotOutcome`;
+- :attr:`Protocol.done` tells the engine the node has terminated (a
+  terminated node implicitly idles).
+
+Protocols are constructed with a :class:`NodeView` — the *only* handle a
+node algorithm gets on the world.  It exposes the node's identity, how
+many channels it has, and its private RNG.  It deliberately does **not**
+expose physical channel identifiers, other nodes' channel sets, or the
+overlap structure: the paper's model gives nodes none of that.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from repro.sim.actions import Action, SlotOutcome
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class NodeView:
+    """A node's local view of the network.
+
+    Attributes
+    ----------
+    node_id:
+        This node's unique identity (known to the node, per the model).
+    num_channels:
+        ``c`` — how many channels this node can tune; local labels are
+        ``0..num_channels-1``.
+    overlap:
+        ``k`` — the guaranteed pairwise overlap (known to nodes, per the
+        model: "Each node knows the value of k").
+    num_nodes:
+        ``n`` — used by the paper's algorithms only to size their running
+        time (Theorem 4's discussion notes no other dependence).
+    rng:
+        This node's private random stream.
+    """
+
+    node_id: NodeId
+    num_channels: int
+    overlap: int
+    num_nodes: int
+    rng: random.Random
+
+    def random_label(self) -> int:
+        """A local channel label chosen uniformly at random."""
+        return self.rng.randrange(self.num_channels)
+
+
+class Protocol(abc.ABC):
+    """Base class for per-node algorithms.
+
+    Subclasses receive their :class:`NodeView` however they like
+    (conventionally as the first constructor argument) and implement the
+    two slot hooks.  The engine guarantees ``begin_slot``/``end_slot``
+    are called in strictly alternating order with increasing slot
+    numbers, and stops calling both once :attr:`done` is true.
+    """
+
+    @abc.abstractmethod
+    def begin_slot(self, slot: int) -> Action:
+        """Choose this node's action for *slot*."""
+
+    @abc.abstractmethod
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        """Observe the outcome of *slot*."""
+
+    @property
+    def done(self) -> bool:
+        """Whether this node has terminated.  Defaults to never."""
+        return False
+
+
+class IdleProtocol(Protocol):
+    """A protocol that never participates.  Useful in tests."""
+
+    def __init__(self, view: NodeView) -> None:
+        self.view = view
+
+    def begin_slot(self, slot: int) -> Action:
+        from repro.sim.actions import Idle
+
+        return Idle()
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        return None

@@ -1,0 +1,83 @@
+"""Generic protocol wrappers: budgets and staggered activation.
+
+Two adapters that compose with any :class:`~repro.sim.protocol.Protocol`:
+
+- :class:`BoundedProtocol` — terminate the node after a fixed slot
+  budget.  COGCAST is designed to run forever (its Theorem 4 guarantee
+  is a budget, not a termination rule); wrapping it with the
+  `cogcast_slot_bound` budget yields the terminating variant a real
+  deployment would run.
+- :class:`DelayedStartProtocol` — the node sleeps until an activation
+  slot, then runs its protocol with a *local* slot clock starting at 0.
+  The paper assumes all nodes activate simultaneously (Section 2);
+  this wrapper lets tests probe how much that assumption carries —
+  COGCAST shrugs (late nodes simply start listening late), while
+  slot-indexed protocols like COGCOMP genuinely need the assumption.
+"""
+
+from __future__ import annotations
+
+from repro.sim.actions import Action, Idle, SlotOutcome
+from repro.sim.protocol import Protocol
+
+
+class BoundedProtocol(Protocol):
+    """Runs *inner* for at most *budget* slots, then terminates."""
+
+    def __init__(self, inner: Protocol, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.inner = inner
+        self.budget = budget
+        self._slots_used = 0
+
+    def begin_slot(self, slot: int) -> Action:
+        self._slots_used += 1
+        return self.inner.begin_slot(slot)
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        self.inner.end_slot(slot, outcome)
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done or self._slots_used >= self.budget
+
+
+class DelayedStartProtocol(Protocol):
+    """Keeps the node asleep until *activation_slot*, then runs *inner*.
+
+    The inner protocol sees slots renumbered from zero at activation,
+    so protocols that index phase timetables by slot behave as if they
+    had just been switched on.
+    """
+
+    def __init__(self, inner: Protocol, activation_slot: int) -> None:
+        if activation_slot < 0:
+            raise ValueError("activation_slot must be non-negative")
+        self.inner = inner
+        self.activation_slot = activation_slot
+
+    def _local(self, slot: int) -> int:
+        return slot - self.activation_slot
+
+    def begin_slot(self, slot: int) -> Action:
+        if slot < self.activation_slot:
+            return Idle()
+        return self.inner.begin_slot(self._local(slot))
+
+    def end_slot(self, slot: int, outcome: SlotOutcome) -> None:
+        if slot < self.activation_slot:
+            return
+        adjusted = SlotOutcome(
+            slot=self._local(slot),
+            action=outcome.action,
+            received=outcome.received,
+            success=outcome.success,
+            jammed=outcome.jammed,
+            extra_received=outcome.extra_received,
+        )
+        self.inner.end_slot(self._local(slot), adjusted)
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done

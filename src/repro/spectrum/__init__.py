@@ -1,0 +1,24 @@
+"""Spatial primary-user spectrum model — the layer below the paper's model.
+
+Derives per-node channel availability from simulated primary
+transmitters (TV whitespace style), turning the paper's abstract
+``(n, c, k)`` inputs into emergent, measured quantities.
+"""
+
+from repro.spectrum.model import (
+    PrimaryUser,
+    SecondaryNode,
+    SpectrumWorld,
+    churning_schedule,
+    min_overlap_over,
+    random_world,
+)
+
+__all__ = [
+    "PrimaryUser",
+    "SecondaryNode",
+    "SpectrumWorld",
+    "churning_schedule",
+    "min_overlap_over",
+    "random_world",
+]

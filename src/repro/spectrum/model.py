@@ -1,0 +1,215 @@
+"""A spatial primary-user spectrum model (the paper's motivating layer).
+
+The paper's introduction grounds cognitive radio in two scenarios:
+secondary users scavenging leftover spectrum in licensed bands (TV
+whitespace), and dense unlicensed coexistence.  The algorithmic model
+then abstracts all of that into per-node channel sets.  This package
+builds the bridge: a concrete spatial world — primary transmitters with
+protection radii, secondary nodes at positions — from which each node's
+available channel set *derives*, instead of being hand-assigned.
+
+The derivation rule is the regulatory one: channel ``f`` is unavailable
+at node ``p`` when ``p`` lies inside the protection radius of any
+primary licensed on ``f``.  Pairwise overlap is then an *emergent*
+quantity: nearby nodes see nearly the same spectrum, distant nodes can
+differ, and the network-wide minimum overlap ``k`` must be measured
+(``min_pairwise_overlap``) rather than assumed — which is exactly how a
+deployment would obtain the ``k`` the paper's algorithms take as input.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.sim.channels import ChannelAssignment, DynamicSchedule
+from repro.types import Channel, InvalidAssignmentError
+
+
+@dataclass(frozen=True, slots=True)
+class PrimaryUser:
+    """A licensed transmitter: position, protected radius, channel."""
+
+    x: float
+    y: float
+    radius: float
+    channel: Channel
+
+    def covers(self, x: float, y: float) -> bool:
+        return math.hypot(self.x - x, self.y - y) <= self.radius
+
+
+@dataclass(frozen=True, slots=True)
+class SecondaryNode:
+    """A cognitive-radio device at a fixed position."""
+
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class SpectrumWorld:
+    """One instant of the spatial world: primaries + secondaries + band."""
+
+    num_channels: int
+    primaries: tuple[PrimaryUser, ...]
+    secondaries: tuple[SecondaryNode, ...]
+
+    def available_channels(self, node_index: int) -> tuple[Channel, ...]:
+        """Channels usable at the node: not covered by any primary."""
+        node = self.secondaries[node_index]
+        blocked = {
+            primary.channel
+            for primary in self.primaries
+            if primary.covers(node.x, node.y)
+        }
+        return tuple(
+            channel for channel in range(self.num_channels) if channel not in blocked
+        )
+
+    def to_assignment(self, *, pad_to_uniform: bool = True) -> ChannelAssignment:
+        """Derive the algorithmic-model assignment from the world.
+
+        The paper's model needs every node to hold the same count ``c``;
+        spatial worlds naturally produce unequal set sizes, so by
+        default each node keeps only its first ``c = min_i |A_i|``
+        channels (dropping its highest-indexed extras).  Dropping
+        channels can only shrink overlaps, so any measured ``k`` remains
+        a sound guarantee.  Raises when some node has no channels at all
+        or when two nodes end up disjoint.
+        """
+        per_node = [
+            list(self.available_channels(index))
+            for index in range(len(self.secondaries))
+        ]
+        if any(not channels for channels in per_node):
+            empty = [i for i, chans in enumerate(per_node) if not chans]
+            raise InvalidAssignmentError(
+                f"nodes {empty} have no available channels (fully covered)"
+            )
+        if pad_to_uniform:
+            c = min(len(channels) for channels in per_node)
+            per_node = [channels[:c] for channels in per_node]
+        assignment = ChannelAssignment(
+            tuple(tuple(channels) for channels in per_node),
+            overlap=1,
+        )
+        measured = assignment.min_pairwise_overlap()
+        if measured < 1:
+            raise InvalidAssignmentError(
+                "some node pair shares no channels; the single-hop model "
+                "needs k >= 1 — thin out the primaries or widen the band"
+            )
+        return ChannelAssignment(assignment.channels, overlap=measured)
+
+
+def random_world(
+    *,
+    num_channels: int,
+    num_primaries: int,
+    num_secondaries: int,
+    area: float,
+    primary_radius: float,
+    rng: random.Random,
+    cluster_radius: float | None = None,
+) -> SpectrumWorld:
+    """Sample a world: primaries uniform over the area, secondaries
+    either uniform or clustered (single-hop networks are physically
+    close, so clustering within ``cluster_radius`` of a random center is
+    the realistic default when provided)."""
+    primaries = tuple(
+        PrimaryUser(
+            x=rng.uniform(0, area),
+            y=rng.uniform(0, area),
+            radius=primary_radius,
+            channel=rng.randrange(num_channels),
+        )
+        for _ in range(num_primaries)
+    )
+    if cluster_radius is not None:
+        center_x = rng.uniform(0, area)
+        center_y = rng.uniform(0, area)
+        secondaries = tuple(
+            SecondaryNode(
+                x=center_x + rng.uniform(-cluster_radius, cluster_radius),
+                y=center_y + rng.uniform(-cluster_radius, cluster_radius),
+            )
+            for _ in range(num_secondaries)
+        )
+    else:
+        secondaries = tuple(
+            SecondaryNode(x=rng.uniform(0, area), y=rng.uniform(0, area))
+            for _ in range(num_secondaries)
+        )
+    return SpectrumWorld(
+        num_channels=num_channels,
+        primaries=primaries,
+        secondaries=secondaries,
+    )
+
+
+def churning_schedule(
+    base: SpectrumWorld,
+    seed: int,
+    *,
+    off_probability: float = 0.2,
+) -> DynamicSchedule:
+    """A dynamic schedule from primary-user churn.
+
+    Each slot > 0, every primary is independently *off* with
+    *off_probability* (wireless microphones pausing, intermittent
+    licensees); the per-slot assignment derives from the active subset.
+    Slot 0 uses the full base world — the most-restrictive instant — so
+    every later slot's per-node availability is a superset of slot 0's,
+    and the constant per-node channel count ``c`` (the base world's
+    minimum) is always achievable.
+
+    Honesty note: each slot's assignment is trimmed to the ``c``
+    lowest-indexed available channels, which can *reshuffle* which
+    channels a node works, so the per-slot pairwise overlap is measured
+    and stored per slot rather than inherited from the base world.  The
+    paper's dynamic model requires overlap >= k in every slot; callers
+    should check the schedule with :func:`min_overlap_over` before
+    relying on a specific ``k`` (the bundled example does).
+    """
+    from repro.sim.rng import derive_rng
+
+    base_assignment = base.to_assignment()
+    base_c = base_assignment.channels_per_node
+
+    def generate(slot: int) -> ChannelAssignment:
+        if slot == 0:
+            return base_assignment
+        rng = derive_rng(seed, "churn", slot)
+        active = tuple(
+            primary
+            for primary in base.primaries
+            if rng.random() >= off_probability
+        )
+        world = SpectrumWorld(
+            num_channels=base.num_channels,
+            primaries=active,
+            secondaries=base.secondaries,
+        )
+        raw = world.to_assignment(pad_to_uniform=False)
+        trimmed = ChannelAssignment(
+            tuple(tuple(channels[:base_c]) for channels in raw.channels),
+            overlap=1,
+        )
+        measured = trimmed.min_pairwise_overlap()
+        if measured < 1:
+            # Fall back to the base working sets for this slot: they are
+            # all still available (churn only removes primaries).
+            return base_assignment
+        return ChannelAssignment(trimmed.channels, overlap=measured)
+
+    return DynamicSchedule(generate)
+
+
+def min_overlap_over(schedule: DynamicSchedule, slots: int) -> int:
+    """The smallest pairwise overlap across the first *slots* slots —
+    the effective ``k`` a dynamic run actually enjoyed."""
+    if slots < 1:
+        raise ValueError("slots must be positive")
+    return min(schedule.at(slot).min_pairwise_overlap() for slot in range(slots))

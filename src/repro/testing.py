@@ -1,0 +1,125 @@
+"""Conformance checking for user-written protocols.
+
+Downstream users extending the library with their own node algorithms
+face the same pitfalls the built-in protocols navigate: out-of-range
+labels, acting after termination, state that drifts from the slot
+clock.  :func:`check_protocol_contract` drives a candidate protocol
+factory through a short adversarial simulation and verifies the
+engine-facing contract; it is what the library's own protocols are run
+through in the test suite, exported so user test suites can do the
+same.
+
+Checked properties:
+
+1. every ``begin_slot`` returns a valid :class:`~repro.sim.actions.Action`
+   with a label inside ``0..c-1``;
+2. the protocol never acts after reporting ``done``;
+3. the protocol tolerates every outcome shape the engine can produce
+   (silence, reception, success, failure, jamming) without raising;
+4. slot numbers are observed strictly increasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.assignment import shared_core
+from repro.sim.actions import Broadcast, Idle, Listen
+from repro.sim.adversary import RandomJammer
+from repro.sim.channels import Network
+from repro.sim.engine import Engine, make_views
+from repro.sim.protocol import NodeView, Protocol
+from repro.sim.rng import derive_rng
+from repro.types import ReproError
+
+
+class ProtocolContractError(ReproError):
+    """A protocol violated the engine-facing contract."""
+
+
+@dataclass
+class _Monitor(Protocol):
+    """Wraps a protocol and asserts the contract around every call."""
+
+    inner: Protocol
+    num_channels: int
+    last_slot: int = -1
+    acted_while_done: bool = False
+
+    def begin_slot(self, slot: int):
+        if self.inner.done:
+            self.acted_while_done = True
+            raise ProtocolContractError("engine called begin_slot while done")
+        if slot <= self.last_slot:
+            raise ProtocolContractError(
+                f"slots not strictly increasing: {slot} after {self.last_slot}"
+            )
+        self.last_slot = slot
+        action = self.inner.begin_slot(slot)
+        if not isinstance(action, (Broadcast, Listen, Idle)):
+            raise ProtocolContractError(
+                f"begin_slot returned {type(action).__name__}, not an Action"
+            )
+        if isinstance(action, (Broadcast, Listen)):
+            if not 0 <= action.label < self.num_channels:
+                raise ProtocolContractError(
+                    f"label {action.label} outside 0..{self.num_channels - 1}"
+                )
+        return action
+
+    def end_slot(self, slot: int, outcome):
+        self.inner.end_slot(slot, outcome)
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done
+
+
+def check_protocol_contract(
+    factory: Callable[[NodeView], Protocol],
+    *,
+    n: int = 8,
+    c: int = 4,
+    k: int = 2,
+    slots: int = 120,
+    seed: int = 0,
+    with_jamming: bool = True,
+) -> None:
+    """Drive *factory*'s protocols through an adversarial run.
+
+    Raises :class:`ProtocolContractError` (or whatever the protocol
+    itself raises) on violation; returns ``None`` when the contract
+    holds for the whole run.
+
+    The run uses a shuffled shared-core network and, by default, a
+    light random jammer so protocols see ``jammed`` outcomes too.
+    """
+    rng = derive_rng(seed, "contract-assignment")
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    views = make_views(network, seed)
+    monitors = [
+        _Monitor(inner=factory(view), num_channels=c) for view in views
+    ]
+    jammer = None
+    if with_jamming:
+        jammer = RandomJammer(
+            sorted(assignment.universe), 1, derive_rng(seed, "contract-jam")
+        )
+    engine = Engine(network, monitors, seed=seed, jammer=jammer)
+    engine.run(slots)
+
+
+def run_protocol_matrix(
+    factory: Callable[[NodeView], Protocol],
+    shapes: Sequence[tuple[int, int, int]] = ((2, 1, 1), (8, 4, 2), (4, 8, 3)),
+    *,
+    slots: int = 80,
+    seed: int = 0,
+) -> None:
+    """Contract-check *factory* across several (n, c, k) shapes."""
+    for n, c, k in shapes:
+        check_protocol_contract(
+            factory, n=n, c=c, k=k, slots=slots, seed=seed, with_jamming=True
+        )

@@ -1,0 +1,47 @@
+"""Shared type aliases and exception hierarchy for the repro package.
+
+The whole library speaks in terms of three scalar identifiers:
+
+- :data:`NodeId` — the unique identity of a node (the paper assumes each
+  node has a unique id; we use non-negative integers).
+- :data:`Channel` — a *physical* (global) channel identifier, i.e. the
+  label a global oracle would use.  Algorithms never see these directly;
+  they see *local labels* (plain ``int`` indices ``0..c-1``) which a
+  :class:`repro.sim.channels.Network` translates per node.
+- :data:`Slot` — a zero-based synchronous time slot index.
+"""
+
+from __future__ import annotations
+
+NodeId = int
+Channel = int
+Slot = int
+LocalLabel = int
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidAssignmentError(ReproError):
+    """A channel assignment violates the model's structural invariants.
+
+    Raised when a node has the wrong number of channels, duplicate
+    channels, or a pair of nodes overlaps on fewer than ``k`` channels.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A protocol produced an action the model does not allow.
+
+    For example: broadcasting on a local label outside ``0..c-1``, or
+    emitting an action after having declared termination.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation could not complete (e.g. slot budget exhausted)."""
+
+
+class GameError(ReproError):
+    """A hitting-game player or referee violated the game's rules."""

@@ -1,0 +1,74 @@
+"""Unit tests for repro.sim.actions — action/outcome value types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.actions import Broadcast, Envelope, Idle, Listen, SlotOutcome
+
+
+class TestEnvelope:
+    def test_fields(self):
+        env = Envelope(sender=3, payload="hi")
+        assert env.sender == 3
+        assert env.payload == "hi"
+
+    def test_frozen(self):
+        env = Envelope(sender=1, payload=None)
+        with pytest.raises(AttributeError):
+            env.sender = 2  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Envelope(1, "x") == Envelope(1, "x")
+        assert Envelope(1, "x") != Envelope(2, "x")
+
+
+class TestActions:
+    def test_broadcast_fields(self):
+        action = Broadcast(label=2, payload={"a": 1})
+        assert action.label == 2
+        assert action.payload == {"a": 1}
+
+    def test_listen_fields(self):
+        assert Listen(label=0).label == 0
+
+    def test_idle_is_singleton_like(self):
+        assert Idle() == Idle()
+
+    def test_actions_are_distinct_types(self):
+        assert Broadcast(0, None) != Listen(0)
+
+
+class TestSlotOutcome:
+    def test_listener_silence(self):
+        outcome = SlotOutcome(slot=5, action=Listen(1))
+        assert outcome.heard_silence
+        assert outcome.received is None
+        assert outcome.success is None
+
+    def test_listener_reception_not_silence(self):
+        outcome = SlotOutcome(
+            slot=5, action=Listen(1), received=Envelope(0, "m")
+        )
+        assert not outcome.heard_silence
+
+    def test_jammed_listener_not_silence(self):
+        # Jamming is noise, not silence: the node cannot conclude the
+        # channel was empty.
+        outcome = SlotOutcome(slot=5, action=Listen(1), jammed=True)
+        assert not outcome.heard_silence
+
+    def test_broadcaster_never_silence(self):
+        outcome = SlotOutcome(slot=5, action=Broadcast(1, "m"), success=True)
+        assert not outcome.heard_silence
+
+    def test_failed_broadcaster_receives_winner(self):
+        winner = Envelope(9, "won")
+        outcome = SlotOutcome(
+            slot=1, action=Broadcast(0, "lost"), received=winner, success=False
+        )
+        assert outcome.received is winner
+        assert outcome.success is False
+
+    def test_extras_default_empty(self):
+        assert SlotOutcome(slot=0, action=Idle()).extra_received == ()

@@ -1,0 +1,51 @@
+"""Tests for the adversarial assignment search and experiment E22."""
+
+from __future__ import annotations
+
+from repro.analysis.theory import cogcast_slot_bound
+from repro.assignment.adversarial_search import find_hard_instance
+
+
+class TestSearch:
+    def test_result_is_valid_assignment(self):
+        result = find_hard_instance(8, 5, 2, seed=0, steps=10)
+        result.assignment.validate()
+        assert result.assignment.num_nodes == 8
+        assert result.assignment.channels_per_node == 5
+        assert result.assignment.min_pairwise_overlap() >= 2
+
+    def test_score_never_below_start(self):
+        """Hill climbing only accepts improvements."""
+        result = find_hard_instance(8, 5, 2, seed=1, steps=15)
+        assert result.score >= result.initial_score
+
+    def test_evaluation_count(self):
+        result = find_hard_instance(6, 4, 2, seed=2, steps=7)
+        assert result.evaluations == 8  # initial + steps
+
+    def test_deterministic(self):
+        a = find_hard_instance(6, 4, 2, seed=3, steps=8)
+        b = find_hard_instance(6, 4, 2, seed=3, steps=8)
+        assert a.score == b.score
+        assert a.assignment.channels == b.assignment.channels
+
+    def test_worst_found_within_theorem4_budget(self):
+        """The point of E22: the attack never beats the proved budget."""
+        n, c, k = 10, 5, 2
+        result = find_hard_instance(n, c, k, seed=4, steps=25)
+        assert result.score <= cogcast_slot_bound(n, c, k)
+
+    def test_k_equals_c_degenerate(self):
+        """Nothing to perturb when there are no private channels."""
+        result = find_hard_instance(6, 3, 3, seed=5, steps=5)
+        result.assignment.validate()
+        assert result.score > 0
+
+
+class TestExperimentE22:
+    def test_fast_run(self):
+        from repro.experiments import get
+
+        table = get("E22").run(seed=0, fast=True)
+        assert table.rows
+        assert all(table.column("within budget"))

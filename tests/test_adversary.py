@@ -1,0 +1,118 @@
+"""Unit tests for repro.sim.adversary — jammers, and jamming in the engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import (
+    Broadcast,
+    ChannelAssignment,
+    Engine,
+    Listen,
+    Network,
+    NullJammer,
+    RandomJammer,
+    SweepJammer,
+    TargetedJammer,
+)
+from tests.test_engine import ScriptedProtocol
+
+
+class TestNullJammer:
+    def test_jams_nothing(self):
+        assert NullJammer().jammed(0, 10) == {}
+
+
+class TestRandomJammer:
+    def test_budget_respected(self):
+        jammer = RandomJammer([0, 1, 2, 3, 4], budget=2, rng=random.Random(0))
+        jammed = jammer.jammed(0, 3)
+        assert set(jammed) == {0, 1, 2}
+        for channels in jammed.values():
+            assert len(channels) == 2
+            assert channels <= {0, 1, 2, 3, 4}
+
+    def test_per_node_independence(self):
+        jammer = RandomJammer(list(range(50)), budget=3, rng=random.Random(1))
+        jammed = jammer.jammed(0, 8)
+        assert len({frozenset(v) for v in jammed.values()}) > 1
+
+    def test_budget_exceeds_universe_raises(self):
+        with pytest.raises(ValueError):
+            RandomJammer([0, 1], budget=3, rng=random.Random(0))
+
+
+class TestSweepJammer:
+    def test_window_slides(self):
+        jammer = SweepJammer([0, 1, 2, 3], budget=2)
+        w0 = jammer.jammed(0, 1)[0]
+        w1 = jammer.jammed(1, 1)[0]
+        assert w0 == {0, 1}
+        assert w1 == {1, 2}
+
+    def test_wraps_around(self):
+        jammer = SweepJammer([0, 1, 2, 3], budget=2)
+        w3 = jammer.jammed(3, 1)[0]
+        assert w3 == {3, 0}
+
+    def test_uniform_across_nodes(self):
+        jammer = SweepJammer([0, 1, 2], budget=1)
+        jammed = jammer.jammed(0, 4)
+        assert len({frozenset(v) for v in jammed.values()}) == 1
+
+
+class TestTargetedJammer:
+    def test_fixed_targets(self):
+        jammer = TargetedJammer({0: frozenset({5}), 2: frozenset({1, 2})})
+        for slot in range(3):
+            jammed = jammer.jammed(slot, 3)
+            assert jammed[0] == {5}
+            assert jammed[2] == {1, 2}
+            assert 1 not in jammed
+
+
+class TestEngineJamming:
+    def network(self):
+        return Network.static(ChannelAssignment(((0, 1), (0, 1)), overlap=2))
+
+    def test_jammed_listener_hears_nothing(self):
+        sender = ScriptedProtocol([Broadcast(0, "m")])
+        listener = ScriptedProtocol([Listen(0)])
+        jammer = TargetedJammer({1: frozenset({0})})
+        engine = Engine(self.network(), [sender, listener], jammer=jammer)
+        engine.step()
+        assert listener.outcomes[0].received is None
+        assert listener.outcomes[0].jammed
+
+    def test_jammed_broadcaster_fails_silently(self):
+        sender = ScriptedProtocol([Broadcast(0, "m")])
+        listener = ScriptedProtocol([Listen(0)])
+        jammer = TargetedJammer({0: frozenset({0})})
+        engine = Engine(self.network(), [sender, listener], jammer=jammer)
+        engine.step()
+        assert sender.outcomes[0].success is False
+        assert sender.outcomes[0].jammed
+        assert listener.outcomes[0].received is None
+
+    def test_unjammed_channel_unaffected(self):
+        sender = ScriptedProtocol([Broadcast(1, "m")])
+        listener = ScriptedProtocol([Listen(1)])
+        jammer = TargetedJammer({0: frozenset({0}), 1: frozenset({0})})
+        engine = Engine(self.network(), [sender, listener], jammer=jammer)
+        engine.step()
+        assert listener.outcomes[0].received is not None
+
+    def test_jamming_is_per_node(self):
+        """Jam node 2's view of channel 0 only: node 1 still hears."""
+        assignment = ChannelAssignment(((0,), (0,), (0,)), overlap=1)
+        network = Network.static(assignment)
+        sender = ScriptedProtocol([Broadcast(0, "m")])
+        hears = ScriptedProtocol([Listen(0)])
+        jammed = ScriptedProtocol([Listen(0)])
+        jammer = TargetedJammer({2: frozenset({0})})
+        engine = Engine(network, [sender, hears, jammed], jammer=jammer)
+        engine.step()
+        assert hears.outcomes[0].received is not None
+        assert jammed.outcomes[0].received is None

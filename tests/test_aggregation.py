@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.aggregation — associative aggregators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import (
+    CollectAggregator,
+    CountAggregator,
+    MaxAggregator,
+    MeanAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+
+
+class TestSum:
+    def test_lift_and_combine(self):
+        agg = SumAggregator()
+        assert agg.combine(agg.lift(0, 2), agg.lift(1, 3)) == 5.0
+
+    def test_associative(self):
+        agg = SumAggregator()
+        a, b, c = 1.0, 2.0, 3.0
+        assert agg.combine(agg.combine(a, b), c) == agg.combine(a, agg.combine(b, c))
+
+
+class TestMaxMin:
+    def test_max(self):
+        agg = MaxAggregator()
+        assert agg.combine(agg.lift(0, -5), agg.lift(1, 3)) == 3.0
+
+    def test_min(self):
+        agg = MinAggregator()
+        assert agg.combine(agg.lift(0, -5), agg.lift(1, 3)) == -5.0
+
+    def test_idempotent(self):
+        agg = MaxAggregator()
+        assert agg.combine(4.0, 4.0) == 4.0
+
+
+class TestCount:
+    def test_ignores_values(self):
+        agg = CountAggregator()
+        assert agg.lift(0, "whatever") == 1
+        assert agg.combine(3, 4) == 7
+
+
+class TestMean:
+    def test_carrier(self):
+        agg = MeanAggregator()
+        carried = agg.combine(agg.lift(0, 2.0), agg.lift(1, 4.0))
+        assert carried == (6.0, 2)
+        assert agg.finalize(carried) == 3.0
+
+    def test_commutative(self):
+        agg = MeanAggregator()
+        a, b = agg.lift(0, 1.0), agg.lift(1, 9.0)
+        assert agg.combine(a, b) == agg.combine(b, a)
+
+    def test_size_bits(self):
+        assert MeanAggregator().size_bits((1.0, 1)) == 128
+
+
+class TestCollect:
+    def test_gathers_everything(self):
+        agg = CollectAggregator()
+        merged = agg.combine(agg.lift(0, "a"), agg.lift(1, "b"))
+        assert merged == {0: "a", 1: "b"}
+
+    def test_rejects_duplicates(self):
+        agg = CollectAggregator()
+        with pytest.raises(ValueError, match="duplicate"):
+            agg.combine({0: "a"}, {0: "b"})
+
+    def test_size_grows(self):
+        agg = CollectAggregator()
+        small = agg.size_bits({0: 1})
+        large = agg.size_bits({i: i for i in range(10)})
+        assert large > small

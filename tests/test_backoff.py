@@ -1,0 +1,96 @@
+"""Unit tests for repro.backoff — the decay contention substrate."""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.backoff import (
+    DecaySchedule,
+    resolve_contention,
+    success_probability_curve,
+)
+
+
+class TestDecaySchedule:
+    def test_sweep_starts_at_one(self):
+        schedule = DecaySchedule(16)
+        assert schedule.probability(0) == 1.0
+
+    def test_halves_each_slot(self):
+        schedule = DecaySchedule(16)
+        for slot in range(schedule.sweep_length - 1):
+            assert schedule.probability(slot + 1) == schedule.probability(slot) / 2
+
+    def test_cycles(self):
+        schedule = DecaySchedule(16)
+        assert schedule.probability(schedule.sweep_length) == 1.0
+
+    def test_sweep_length_logarithmic(self):
+        assert DecaySchedule(1024).sweep_length == 11
+        assert DecaySchedule(2).sweep_length == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DecaySchedule(0)
+
+
+class TestResolveContention:
+    def test_single_contender_immediate(self):
+        result = resolve_contention(1, random.Random(0))
+        assert result.succeeded
+        assert result.micro_slots == 1
+        assert result.winner == 0
+
+    def test_winner_in_range(self):
+        result = resolve_contention(10, random.Random(1))
+        assert result.succeeded
+        assert 0 <= result.winner < 10
+
+    def test_budget_can_run_out(self):
+        # With probability-1 slots only (n_max=1 -> p in {1, 1/2}) and
+        # many contenders, tiny budgets frequently fail.
+        result = resolve_contention(64, random.Random(2), n_max=1, max_micro_slots=1)
+        assert not result.succeeded
+        assert result.winner is None
+
+    def test_invalid_contenders(self):
+        with pytest.raises(ValueError):
+            resolve_contention(0, random.Random(0))
+
+    def test_cost_is_polylog(self):
+        """The footnote-4 claim: micro-slots ~ O(log^2 m)."""
+        for m in (8, 64):
+            costs = [
+                resolve_contention(m, random.Random(seed)).micro_slots
+                for seed in range(300)
+            ]
+            bound = 4 * (math.log2(m) + 1) ** 2
+            assert statistics.median(costs) <= bound
+
+    def test_whp_success_within_bound(self):
+        m = 32
+        bound = int(4 * (math.log2(m) + 1) ** 2)
+        successes = sum(
+            resolve_contention(m, random.Random(seed), max_micro_slots=bound).succeeded
+            for seed in range(300)
+        )
+        assert successes / 300 > 0.95
+
+
+class TestSuccessCurve:
+    def test_monotone(self):
+        curve = success_probability_curve(
+            16, [1, 5, 20, 80], random.Random(0), trials=100
+        )
+        assert curve == sorted(curve)
+
+    def test_empty_budgets(self):
+        assert success_probability_curve(4, [], random.Random(0)) == []
+
+    def test_probabilities_in_range(self):
+        curve = success_probability_curve(8, [10, 50], random.Random(1), trials=50)
+        assert all(0.0 <= p <= 1.0 for p in curve)

@@ -1,0 +1,97 @@
+"""Tests for the decay-expanded collision adapter (stack composition)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backoff.adapter import BackoffStats, DecayExpandedCollision
+from repro.sim.actions import Envelope
+
+
+def envelopes(count: int) -> list[Envelope]:
+    return [Envelope(sender=i, payload=f"m{i}") for i in range(count)]
+
+
+class TestDecayExpandedCollision:
+    def test_empty_channel(self):
+        model = DecayExpandedCollision(n_max=8)
+        resolution = model.resolve([], random.Random(0))
+        assert resolution.winner is None
+        assert model.stats.resolutions == 0
+
+    def test_lone_broadcaster_free(self):
+        model = DecayExpandedCollision(n_max=8)
+        env = envelopes(1)
+        resolution = model.resolve(env, random.Random(0))
+        assert resolution.winner is env[0]
+        assert model.stats.micro_slots_to_win == [1]
+        assert model.stats.contended_resolutions == 0
+
+    def test_contended_resolution_picks_a_contender(self):
+        model = DecayExpandedCollision(n_max=8)
+        env = envelopes(5)
+        resolution = model.resolve(env, random.Random(1))
+        assert resolution.winner in env
+        assert model.stats.contended_resolutions == 1
+        assert model.stats.micro_slots_to_win[-1] >= 1
+
+    def test_window_failure_possible_with_tiny_window(self):
+        model = DecayExpandedCollision(n_max=64, window=1)
+        # With p=1 in micro-slot 0 and many contenders, the window fails.
+        resolution = model.resolve(envelopes(32), random.Random(2))
+        assert resolution.winner is None
+        assert model.stats.failed_windows == 1
+        assert model.stats.failure_rate == 1.0
+
+    def test_default_window_rarely_fails(self):
+        model = DecayExpandedCollision(n_max=32)
+        rng = random.Random(3)
+        for _ in range(300):
+            model.resolve(envelopes(rng.randrange(2, 32)), rng)
+        assert model.stats.failure_rate < 0.02
+
+    def test_winner_roughly_uniform(self):
+        """Decay's solo transmitter is symmetric across contenders."""
+        model = DecayExpandedCollision(n_max=4)
+        rng = random.Random(4)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(2000):
+            resolution = model.resolve(envelopes(4), rng)
+            if resolution.winner is not None:
+                counts[resolution.winner.sender] += 1
+        total = sum(counts.values())
+        for count in counts.values():
+            assert abs(count / total - 0.25) < 0.06
+
+
+class TestEndToEnd:
+    def test_cogcast_over_backoff_completes(self):
+        from repro.assignment import shared_core
+        from repro.core import run_local_broadcast
+        from repro.sim import Network
+
+        rng = random.Random(5)
+        network = Network.static(
+            shared_core(16, 6, 2, rng).shuffled_labels(rng), validate=False
+        )
+        collision = DecayExpandedCollision(n_max=16)
+        result = run_local_broadcast(
+            network, seed=5, max_slots=100_000, collision=collision
+        )
+        assert result.completed
+        assert collision.stats.resolutions > 0
+
+    def test_stats_accounting_consistent(self):
+        model = DecayExpandedCollision(n_max=8)
+        rng = random.Random(6)
+        for size in (1, 2, 3, 1, 5):
+            model.resolve(envelopes(size), rng)
+        stats: BackoffStats = model.stats
+        assert stats.resolutions == 5
+        assert stats.contended_resolutions == 3
+        assert (
+            len(stats.micro_slots_to_win) + stats.failed_windows
+            == stats.resolutions
+        )

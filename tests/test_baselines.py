@@ -1,0 +1,143 @@
+"""Unit tests for repro.baselines — rendezvous broadcast/aggregation, hopping."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.assignment import (
+    hopping_discussion_instance,
+    identical,
+    shared_core,
+)
+from repro.baselines import (
+    pairwise_rendezvous_slots,
+    run_hopping_together,
+    run_rendezvous_aggregation,
+    run_rendezvous_broadcast,
+)
+from repro.sim import Network
+
+
+def network(n=10, c=6, k=2, seed=0) -> Network:
+    rng = random.Random(seed)
+    return Network.static(shared_core(n, c, k, rng).shuffled_labels(rng))
+
+
+class TestRendezvousBroadcast:
+    def test_completes(self):
+        result = run_rendezvous_broadcast(network(), seed=0, max_slots=100_000)
+        assert result.completed
+        assert result.informed_count == 10
+
+    def test_all_parents_are_source(self):
+        """Nobody relays, so every non-source parent is the source."""
+        result = run_rendezvous_broadcast(network(), source=3, seed=1, max_slots=100_000)
+        for node, parent in enumerate(result.parents):
+            if node == 3:
+                assert parent is None
+            else:
+                assert parent == 3
+
+    def test_budget_exhaustion(self):
+        result = run_rendezvous_broadcast(network(), seed=0, max_slots=1)
+        assert not result.completed
+
+    def test_slower_than_cogcast_on_average(self):
+        """The headline comparison, in miniature."""
+        from repro.core import run_local_broadcast
+
+        net = network(n=24, c=12, k=2, seed=5)
+        base = statistics.mean(
+            run_rendezvous_broadcast(net, seed=s, max_slots=500_000).slots
+            for s in range(5)
+        )
+        cog = statistics.mean(
+            run_local_broadcast(net, seed=s, max_slots=500_000).slots
+            for s in range(5)
+        )
+        assert base > cog
+
+
+class TestPairwiseRendezvous:
+    def test_returns_positive(self):
+        assert pairwise_rendezvous_slots(8, 2, random.Random(0)) >= 1
+
+    def test_k_equals_c_meets_fast(self):
+        """Full overlap: meet probability is 1/c per slot."""
+        slots = [
+            pairwise_rendezvous_slots(4, 4, random.Random(seed))
+            for seed in range(300)
+        ]
+        assert 2.0 < statistics.mean(slots) < 7.0  # expectation c = 4
+
+    def test_mean_tracks_c2_over_k(self):
+        c, k = 12, 3
+        slots = [
+            pairwise_rendezvous_slots(c, k, random.Random(seed))
+            for seed in range(400)
+        ]
+        expected = c * c / k  # 48
+        assert 0.6 * expected < statistics.mean(slots) < 1.4 * expected
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            pairwise_rendezvous_slots(4, 5, random.Random(0))
+
+
+class TestRendezvousAggregation:
+    def test_collects_everything(self):
+        net = network()
+        values = [f"v{i}" for i in range(10)]
+        result = run_rendezvous_aggregation(net, values, seed=0, max_slots=500_000)
+        assert result.completed
+        assert result.collected == {i: f"v{i}" for i in range(1, 10)}
+
+    def test_source_value_not_collected(self):
+        """The source already has its own value; it never self-reports."""
+        net = network()
+        result = run_rendezvous_aggregation(
+            net, list(range(10)), seed=1, max_slots=500_000
+        )
+        assert 0 not in result.collected
+
+    def test_wrong_value_count(self):
+        with pytest.raises(ValueError):
+            run_rendezvous_aggregation(network(), [1], seed=0, max_slots=10)
+
+    def test_budget_exhaustion(self):
+        result = run_rendezvous_aggregation(
+            network(), list(range(10)), seed=0, max_slots=1
+        )
+        assert not result.completed
+
+
+class TestHoppingTogether:
+    def test_discussion_instance_is_fast(self):
+        a = hopping_discussion_instance(4, random.Random(0)).with_global_labels()
+        result = run_hopping_together(a, seed=0, max_slots=1000)
+        assert result.completed
+        # C/k = (15 + 4)/15 ~ 1.27 expected; anything tiny is a pass.
+        assert result.slots <= 20
+
+    def test_identical_channels_first_slot(self):
+        a = identical(6, 4)
+        result = run_hopping_together(a, seed=1, max_slots=100)
+        assert result.completed
+        assert result.slots == 1  # scan hits channel 0, all share it
+
+    def test_one_hit_informs_everyone(self):
+        """All listeners share the scanned channel, so completion happens
+        in the very slot of the first overlap hit."""
+        a = hopping_discussion_instance(5, random.Random(2)).with_global_labels()
+        result = run_hopping_together(a, seed=2, max_slots=1000)
+        slots = {s for s in result.informed_slots if s is not None and s >= 0}
+        assert len(slots) == 1
+
+    def test_shared_core_completes(self):
+        rng = random.Random(3)
+        a = shared_core(5, 4, 2, rng).with_global_labels()
+        result = run_hopping_together(a, seed=3, max_slots=10_000)
+        assert result.completed

@@ -1,0 +1,157 @@
+"""Unit tests for repro.sim.channels — assignments, labels, schedules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assignment import shared_core
+from repro.sim.channels import (
+    ChannelAssignment,
+    DynamicSchedule,
+    Network,
+    StaticSchedule,
+)
+from repro.types import InvalidAssignmentError, ProtocolViolationError
+
+
+def simple_assignment() -> ChannelAssignment:
+    """3 nodes, 3 channels each, overlapping on channels {0, 1}."""
+    return ChannelAssignment(
+        channels=((0, 1, 2), (1, 0, 3), (0, 4, 1)),
+        overlap=2,
+    )
+
+
+class TestChannelAssignment:
+    def test_shape_properties(self):
+        a = simple_assignment()
+        assert a.num_nodes == 3
+        assert a.channels_per_node == 3
+        assert a.universe == frozenset({0, 1, 2, 3, 4})
+
+    def test_physical_uses_tuple_order(self):
+        a = simple_assignment()
+        assert a.physical(1, 0) == 1
+        assert a.physical(1, 1) == 0
+        assert a.physical(2, 2) == 1
+
+    def test_label_of_roundtrip(self):
+        a = simple_assignment()
+        for node in range(3):
+            for label in range(3):
+                assert a.label_of(node, a.physical(node, label)) == label
+
+    def test_label_of_missing_channel_raises(self):
+        with pytest.raises(ValueError):
+            simple_assignment().label_of(0, 99)
+
+    def test_pairwise_overlap(self):
+        a = simple_assignment()
+        assert a.pairwise_overlap(0, 1) == 2
+        assert a.pairwise_overlap(0, 2) == 2
+        assert a.min_pairwise_overlap() == 2
+
+    def test_validate_accepts_good(self):
+        simple_assignment().validate()
+
+    def test_validate_rejects_single_node(self):
+        with pytest.raises(InvalidAssignmentError, match="two nodes"):
+            ChannelAssignment(((0,),), overlap=1).validate()
+
+    def test_validate_rejects_bad_overlap_param(self):
+        with pytest.raises(InvalidAssignmentError, match="outside"):
+            ChannelAssignment(((0, 1), (0, 1)), overlap=3).validate()
+
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(InvalidAssignmentError, match="duplicate"):
+            ChannelAssignment(((0, 0), (0, 1)), overlap=1).validate()
+
+    def test_validate_rejects_ragged(self):
+        with pytest.raises(InvalidAssignmentError, match="expected"):
+            ChannelAssignment(((0, 1), (0,)), overlap=1).validate()
+
+    def test_validate_rejects_insufficient_overlap(self):
+        bad = ChannelAssignment(((0, 1), (2, 3)), overlap=1)
+        with pytest.raises(InvalidAssignmentError, match="overlap"):
+            bad.validate()
+
+    def test_shuffled_labels_preserves_sets(self):
+        a = simple_assignment()
+        shuffled = a.shuffled_labels(random.Random(1))
+        for node in range(3):
+            assert shuffled.channel_set(node) == a.channel_set(node)
+
+    def test_shuffled_labels_changes_order_eventually(self):
+        a = ChannelAssignment(
+            channels=(tuple(range(16)), tuple(range(16))), overlap=16
+        )
+        shuffled = a.shuffled_labels(random.Random(5))
+        assert shuffled.channels[0] != a.channels[0]
+
+    def test_with_global_labels_sorts(self):
+        sorted_a = simple_assignment().with_global_labels()
+        for chans in sorted_a.channels:
+            assert list(chans) == sorted(chans)
+
+
+class TestSchedules:
+    def test_static_schedule_constant(self):
+        a = simple_assignment()
+        schedule = StaticSchedule(a)
+        assert schedule.at(0) is a
+        assert schedule.at(999) is a
+        assert schedule.num_nodes == 3
+        assert schedule.overlap == 2
+
+    def test_dynamic_schedule_caches(self):
+        calls = []
+
+        def generate(slot: int) -> ChannelAssignment:
+            calls.append(slot)
+            return simple_assignment()
+
+        schedule = DynamicSchedule(generate)
+        schedule.at(3)
+        schedule.at(3)
+        assert calls.count(3) == 1
+
+    def test_dynamic_schedule_varies_by_slot(self):
+        def generate(slot: int) -> ChannelAssignment:
+            return shared_core(4, 3, 1, random.Random(slot))
+
+        schedule = DynamicSchedule(generate)
+        assert schedule.at(0).channels != schedule.at(1).channels
+
+    def test_dynamic_schedule_validate_each(self):
+        def generate_bad(slot: int) -> ChannelAssignment:
+            return ChannelAssignment(((0, 1), (2, 3)), overlap=1)
+
+        with pytest.raises(InvalidAssignmentError):
+            DynamicSchedule(generate_bad, validate_each=True)
+
+
+class TestNetwork:
+    def test_static_constructor_validates(self):
+        bad = ChannelAssignment(((0, 1), (2, 3)), overlap=1)
+        with pytest.raises(InvalidAssignmentError):
+            Network.static(bad)
+        Network.static(bad, validate=False)  # opt-out works
+
+    def test_parameters(self):
+        network = Network.static(simple_assignment())
+        assert network.num_nodes == 3
+        assert network.channels_per_node == 3
+        assert network.overlap == 2
+
+    def test_physical_translation(self):
+        network = Network.static(simple_assignment())
+        assert network.physical(0, 1, 1) == 0
+
+    def test_physical_rejects_bad_label(self):
+        network = Network.static(simple_assignment())
+        with pytest.raises(ProtocolViolationError):
+            network.physical(0, 0, 3)
+        with pytest.raises(ProtocolViolationError):
+            network.physical(0, 0, -1)

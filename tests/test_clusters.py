@@ -1,0 +1,82 @@
+"""Unit tests for repro.core.clusters — (r, c)-cluster reconstruction."""
+
+from __future__ import annotations
+
+from repro.core.clusters import (
+    ClusterKey,
+    cluster_of,
+    clusters_from_trace,
+    largest_cluster_per_slot,
+)
+from repro.core.messages import InitPayload
+from repro.sim.actions import Envelope
+from repro.sim.trace import ChannelEvent, EventTrace
+
+
+def build_trace() -> EventTrace:
+    """Source 0 informs {1,2} at (slot 0, ch 4); node 1 informs {3} at
+    (slot 1, ch 2); a second slot-1 event re-delivers to node 2 only."""
+    trace = EventTrace()
+    init = InitPayload(origin=0)
+    trace.record(
+        ChannelEvent(0, 4, broadcasters=(0,), listeners=(1, 2), winner=Envelope(0, init))
+    )
+    trace.record(
+        ChannelEvent(1, 2, broadcasters=(1,), listeners=(3,), winner=Envelope(1, init))
+    )
+    trace.record(
+        ChannelEvent(1, 4, broadcasters=(0,), listeners=(2,), winner=Envelope(0, init))
+    )
+    return trace
+
+
+class TestClustersFromTrace:
+    def test_reconstruction(self):
+        clusters = clusters_from_trace(build_trace(), root=0)
+        assert set(clusters) == {ClusterKey(0, 4), ClusterKey(1, 2)}
+        first = clusters[ClusterKey(0, 4)]
+        assert first.informer == 0
+        assert first.members == {1, 2}
+        assert first.size == 2
+        second = clusters[ClusterKey(1, 2)]
+        assert second.informer == 1
+        assert second.members == {3}
+
+    def test_already_informed_listeners_excluded(self):
+        """Node 2 hears the message again at slot 1 but joins no new cluster."""
+        clusters = clusters_from_trace(build_trace(), root=0)
+        assert ClusterKey(1, 4) not in clusters
+
+    def test_non_init_payloads_ignored(self):
+        trace = EventTrace()
+        trace.record(
+            ChannelEvent(0, 0, broadcasters=(0,), listeners=(1,), winner=Envelope(0, "junk"))
+        )
+        assert clusters_from_trace(trace, root=0) == {}
+
+    def test_silent_events_ignored(self):
+        trace = EventTrace()
+        trace.record(ChannelEvent(0, 0, broadcasters=(), listeners=(1,), winner=None))
+        assert clusters_from_trace(trace, root=0) == {}
+
+
+class TestClusterOf:
+    def test_finds_unique_cluster(self):
+        clusters = clusters_from_trace(build_trace(), root=0)
+        info = cluster_of(clusters, 3)
+        assert info is not None and info.key == ClusterKey(1, 2)
+
+    def test_source_in_no_cluster(self):
+        clusters = clusters_from_trace(build_trace(), root=0)
+        assert cluster_of(clusters, 0) is None
+
+
+class TestLargestPerSlot:
+    def test_k_i_values(self):
+        clusters = clusters_from_trace(build_trace(), root=0)
+        assert largest_cluster_per_slot(clusters) == {0: 2, 1: 1}
+
+    def test_sum_bounded_by_n(self):
+        """Theorem 10's accounting: sum of k_i <= n."""
+        clusters = clusters_from_trace(build_trace(), root=0)
+        assert sum(largest_cluster_per_slot(clusters).values()) <= 4

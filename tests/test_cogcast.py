@@ -1,0 +1,204 @@
+"""Unit tests for repro.core.cogcast — the epidemic broadcast protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assignment import identical, shared_core
+from repro.core import CogCast, run_local_broadcast
+from repro.core.messages import InitPayload
+from repro.sim import (
+    Broadcast,
+    EventTrace,
+    Listen,
+    Network,
+    NodeView,
+)
+from repro.types import SimulationError
+
+
+def view(node_id=0, c=4, k=2, n=8, seed=0) -> NodeView:
+    from repro.sim.rng import derive_rng
+
+    return NodeView(
+        node_id=node_id,
+        num_channels=c,
+        overlap=k,
+        num_nodes=n,
+        rng=derive_rng(seed, "test-node", node_id),
+    )
+
+
+class TestProtocolUnit:
+    def test_source_broadcasts_from_slot_zero(self):
+        protocol = CogCast(view(), is_source=True, body="data")
+        action = protocol.begin_slot(0)
+        assert isinstance(action, Broadcast)
+        assert isinstance(action.payload, InitPayload)
+        assert action.payload.body == "data"
+        assert action.payload.origin == 0
+
+    def test_uninformed_listens(self):
+        protocol = CogCast(view(1))
+        assert isinstance(protocol.begin_slot(0), Listen)
+        assert not protocol.informed
+
+    def test_labels_within_range(self):
+        protocol = CogCast(view(c=4), is_source=True)
+        for slot in range(50):
+            action = protocol.begin_slot(slot)
+            assert 0 <= action.label < 4
+            from repro.sim.actions import SlotOutcome
+
+            protocol.end_slot(slot, SlotOutcome(slot=slot, action=action, success=True))
+
+    def test_becomes_informed_on_init_payload(self):
+        from repro.sim.actions import Envelope, SlotOutcome
+
+        protocol = CogCast(view(2))
+        action = protocol.begin_slot(0)
+        envelope = Envelope(sender=7, payload=InitPayload(origin=0, body="x"))
+        protocol.end_slot(0, SlotOutcome(slot=0, action=action, received=envelope))
+        assert protocol.informed
+        assert protocol.parent == 7
+        assert protocol.informed_slot == 0
+        assert protocol.informed_label == action.label
+        # Now it relays.
+        assert isinstance(protocol.begin_slot(1), Broadcast)
+
+    def test_ignores_non_init_payload(self):
+        from repro.sim.actions import Envelope, SlotOutcome
+
+        protocol = CogCast(view(2))
+        action = protocol.begin_slot(0)
+        envelope = Envelope(sender=7, payload="junk")
+        protocol.end_slot(0, SlotOutcome(slot=0, action=action, received=envelope))
+        assert not protocol.informed
+
+    def test_log_recording(self):
+        from repro.sim.actions import Envelope, SlotOutcome
+
+        protocol = CogCast(view(3), keep_log=True)
+        a0 = protocol.begin_slot(0)
+        protocol.end_slot(0, SlotOutcome(slot=0, action=a0))
+        a1 = protocol.begin_slot(1)
+        envelope = Envelope(sender=1, payload=InitPayload(origin=0))
+        protocol.end_slot(1, SlotOutcome(slot=1, action=a1, received=envelope))
+        assert len(protocol.log) == 2
+        assert not protocol.log[0].was_broadcast
+        assert not protocol.log[0].first_informed
+        assert protocol.log[1].first_informed
+
+    def test_never_done(self):
+        protocol = CogCast(view(), is_source=True)
+        assert not protocol.done
+
+    def test_source_marks_informed_slot_minus_one(self):
+        protocol = CogCast(view(), is_source=True)
+        assert protocol.informed_slot == -1
+        assert protocol.informed
+
+
+class TestRunLocalBroadcast:
+    def test_completes_on_small_network(self, small_network):
+        result = run_local_broadcast(
+            small_network, source=0, seed=1, max_slots=10_000
+        )
+        assert result.completed
+        assert result.informed_count == small_network.num_nodes
+
+    def test_single_shared_channel_one_slot(self, single_channel_network):
+        """Everyone on one channel: the source informs all in slot one."""
+        result = run_local_broadcast(
+            single_channel_network, source=0, seed=0, max_slots=10
+        )
+        assert result.completed
+        assert result.slots == 1
+
+    def test_parents_form_tree(self, small_network):
+        from repro.core import DistributionTree
+
+        result = run_local_broadcast(
+            small_network, source=2, seed=3, max_slots=10_000
+        )
+        tree = DistributionTree.from_parents(2, result.parents)
+        assert tree.num_nodes == small_network.num_nodes
+
+    def test_source_has_no_parent(self, small_network):
+        result = run_local_broadcast(small_network, source=0, seed=4, max_slots=10_000)
+        assert result.parents[0] is None
+        assert all(p is not None for p in result.parents[1:])
+
+    def test_informed_slots_increase_from_parent(self, small_network):
+        """A child is informed strictly after its parent."""
+        result = run_local_broadcast(small_network, source=0, seed=5, max_slots=10_000)
+        for node, parent in enumerate(result.parents):
+            if parent is None:
+                continue
+            assert result.informed_slots[node] > result.informed_slots[parent]
+
+    def test_budget_exhaustion_reported(self, small_network):
+        result = run_local_broadcast(small_network, source=0, seed=0, max_slots=0)
+        assert not result.completed
+        assert result.informed_count == 1  # just the source
+
+    def test_require_completion_raises(self, small_network):
+        with pytest.raises(SimulationError):
+            run_local_broadcast(
+                small_network, source=0, seed=0, max_slots=0, require_completion=True
+            )
+
+    def test_trace_matches_protocol_view(self, small_network):
+        """Ground truth from the trace agrees with protocol bookkeeping."""
+        from repro.core import DistributionTree
+
+        trace = EventTrace()
+        result = run_local_broadcast(
+            small_network, source=0, seed=6, max_slots=10_000, trace=trace
+        )
+        protocol_tree = DistributionTree.from_parents(0, result.parents)
+        oracle_tree = DistributionTree.from_trace(
+            trace, root=0, num_nodes=small_network.num_nodes
+        )
+        assert protocol_tree.parents == oracle_tree.parents
+
+    def test_body_disseminated(self, small_network):
+        # All nodes should end with the source's body (checked through
+        # protocol state by re-running with build_engine).
+        from repro.sim import build_engine
+
+        def factory(v):
+            return CogCast(v, is_source=(v.node_id == 0), body="payload!")
+
+        engine = build_engine(small_network, factory, seed=8)
+        engine.run(10_000, stop_when=lambda e: all(p.informed for p in e.protocols))
+        for protocol in engine.protocols:
+            assert protocol.message is not None
+            assert protocol.message.body == "payload!"
+            assert protocol.message.origin == 0
+
+    def test_works_with_identical_channels(self):
+        network = Network.static(identical(10, 3))
+        result = run_local_broadcast(network, source=0, seed=9, max_slots=10_000)
+        assert result.completed
+
+    def test_works_when_c_exceeds_n(self):
+        rng = random.Random(10)
+        assignment = shared_core(4, 16, 4, rng).shuffled_labels(rng)
+        network = Network.static(assignment)
+        result = run_local_broadcast(network, source=0, seed=10, max_slots=100_000)
+        assert result.completed
+
+    def test_each_node_informed_once(self, small_network):
+        """The paper: 'each node is informed only once' — captured by the
+        informed_slot being the unique first reception."""
+        trace = EventTrace()
+        result = run_local_broadcast(
+            small_network, source=0, seed=11, max_slots=10_000, trace=trace
+        )
+        for node in range(1, small_network.num_nodes):
+            first = trace.first_delivery_to(node)
+            assert first is not None
+            assert first.slot == result.informed_slots[node]

@@ -1,0 +1,266 @@
+"""Unit and integration tests for repro.core.cogcomp — the four-phase protocol."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assignment import identical, pairwise_blocks, shared_core
+from repro.core import (
+    CogComp,
+    CollectAggregator,
+    CountAggregator,
+    DistributionTree,
+    MaxAggregator,
+    SumAggregator,
+    run_data_aggregation,
+)
+from repro.core.clusters import clusters_from_trace
+from repro.sim import EventTrace, Network, build_engine
+from repro.types import SimulationError
+
+
+def shared_network(n=12, c=6, k=2, seed=0) -> Network:
+    rng = random.Random(seed)
+    return Network.static(shared_core(n, c, k, rng).shuffled_labels(rng))
+
+
+class TestEndToEnd:
+    def test_collect_returns_exact_mapping(self):
+        network = shared_network()
+        values = [f"v{i}" for i in range(12)]
+        result = run_data_aggregation(network, values, seed=1)
+        assert result.completed
+        assert result.value == {i: f"v{i}" for i in range(12)}
+
+    def test_sum(self):
+        network = shared_network()
+        values = [float(i) for i in range(12)]
+        result = run_data_aggregation(
+            network, values, seed=2, aggregator=SumAggregator()
+        )
+        assert result.completed
+        assert result.value == sum(values)
+
+    def test_max(self):
+        network = shared_network()
+        values = [3.0] * 12
+        values[7] = 99.0
+        result = run_data_aggregation(
+            network, values, seed=3, aggregator=MaxAggregator()
+        )
+        assert result.value == 99.0
+
+    def test_count(self):
+        network = shared_network()
+        result = run_data_aggregation(
+            network, [None] * 12, seed=4, aggregator=CountAggregator()
+        )
+        assert result.value == 12
+
+    def test_non_zero_source(self):
+        network = shared_network()
+        values = [float(i) for i in range(12)]
+        result = run_data_aggregation(
+            network, values, source=5, seed=5, aggregator=SumAggregator()
+        )
+        assert result.completed
+        assert result.value == sum(values)
+
+    def test_two_nodes(self):
+        network = shared_network(n=2, c=4, k=2)
+        result = run_data_aggregation(
+            network, [10.0, 20.0], seed=6, aggregator=SumAggregator()
+        )
+        assert result.completed
+        assert result.value == 30.0
+
+    def test_single_shared_channel(self):
+        network = Network.static(identical(8, 1))
+        result = run_data_aggregation(
+            network, list(range(8)), seed=7, aggregator=CollectAggregator()
+        )
+        assert result.completed
+        assert result.value == {i: i for i in range(8)}
+
+    def test_c_greater_than_n(self):
+        rng = random.Random(8)
+        network = Network.static(shared_core(4, 12, 3, rng).shuffled_labels(rng))
+        result = run_data_aggregation(
+            network, list(range(4)), seed=8, aggregator=SumAggregator()
+        )
+        assert result.completed
+        assert result.value == 6.0
+
+    def test_pairwise_blocks_pattern(self):
+        rng = random.Random(9)
+        network = Network.static(pairwise_blocks(6, 10, 2, rng).shuffled_labels(rng))
+        result = run_data_aggregation(
+            network, list(range(6)), seed=9, aggregator=SumAggregator()
+        )
+        assert result.completed
+        assert result.value == 15.0
+
+    def test_wrong_value_count_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            run_data_aggregation(shared_network(), [1, 2, 3], seed=0)
+
+    def test_require_completion(self):
+        # An absurdly short phase one fails to inform everyone and must raise.
+        with pytest.raises(SimulationError):
+            run_data_aggregation(
+                shared_network(),
+                list(range(12)),
+                seed=10,
+                phase1_slots=1,
+                require_completion=True,
+            )
+
+    def test_many_seeds_never_wrong(self):
+        """COGCOMP may fail (w.h.p. complement) but must never be silently
+        wrong: completed => exact aggregate."""
+        network = shared_network(n=10, c=5, k=2, seed=11)
+        values = [float(i * i) for i in range(10)]
+        completions = 0
+        for seed in range(20):
+            result = run_data_aggregation(
+                network, values, seed=seed, aggregator=SumAggregator()
+            )
+            if result.completed:
+                completions += 1
+                assert result.value == sum(values)
+        assert completions == 20  # the default budget is generous
+
+
+class TestPhaseAccounting:
+    def test_slot_budget_breakdown(self):
+        network = shared_network()
+        result = run_data_aggregation(
+            network, list(range(12)), seed=12, phase1_slots=100
+        )
+        assert result.phase1_slots == 100
+        assert result.phase2_slots == 12
+        assert result.phase3_slots == 100
+        assert result.total_slots == 212 + result.phase4_slots
+        assert result.phase4_slots % 3 == 0 or result.completed
+
+    def test_phase4_is_linear_in_n(self):
+        """Theorem 10: phase four is O(n) steps (3 slots each)."""
+        for n in (8, 16, 32):
+            network = shared_network(n=n, c=6, k=2, seed=n)
+            result = run_data_aggregation(
+                network, list(range(n)), seed=13, aggregator=SumAggregator()
+            )
+            assert result.completed
+            assert result.phase4_slots <= 3 * (4 * n)
+
+    def test_tree_matches_trace(self):
+        trace = EventTrace()
+        network = shared_network(seed=14)
+        result = run_data_aggregation(
+            network, list(range(12)), seed=14, trace=trace
+        )
+        assert result.completed
+        protocol_tree = DistributionTree.from_parents(0, result.parents)
+        oracle_tree = DistributionTree.from_trace(trace, root=0, num_nodes=12)
+        assert protocol_tree.parents == oracle_tree.parents
+
+
+class TestProtocolInternals:
+    def build_protocols(self, network: Network, seed: int, l: int = 80):
+        values = [float(i) for i in range(network.num_nodes)]
+
+        def factory(view):
+            return CogComp(
+                view,
+                phase1_slots=l,
+                value=values[view.node_id],
+                aggregator=SumAggregator(),
+                is_source=(view.node_id == 0),
+            )
+
+        return build_engine(network, factory, seed=seed)
+
+    def test_cluster_sizes_match_ground_truth(self):
+        """After phase two, every node's cluster_size equals the true
+        cluster membership count from the trace."""
+        trace = EventTrace()
+        network = shared_network(seed=15)
+        engine = self.build_protocols(network, seed=15)
+        engine.trace = trace
+        l = 80
+        engine.run(l + network.num_nodes, stop_when=lambda e: e.slot >= l + network.num_nodes)
+        clusters = clusters_from_trace(trace, root=0)
+        by_member = {}
+        for info in clusters.values():
+            for member in info.members:
+                by_member[member] = info
+        for node, protocol in enumerate(engine.protocols):
+            if node == 0:
+                continue
+            assert not protocol.failed
+            truth = by_member[node]
+            assert protocol.cluster_size == truth.size
+            assert protocol.informed_slot == truth.key.slot
+
+    def test_exactly_one_mediator_per_used_channel(self):
+        """Lemma 7(b): each channel used in phase one elects one mediator."""
+        trace = EventTrace()
+        network = shared_network(seed=16)
+        engine = self.build_protocols(network, seed=16)
+        engine.trace = trace
+        l = 80
+        engine.run(l + network.num_nodes, stop_when=lambda e: e.slot >= l + network.num_nodes)
+        clusters = clusters_from_trace(trace, root=0)
+        used_channels = {key.channel for key in clusters}
+        assignment = network.assignment_at(0)
+        mediators_by_channel: dict[int, list[int]] = {}
+        for node, protocol in enumerate(engine.protocols):
+            if node == 0 or not protocol.is_mediator:
+                continue
+            channel = assignment.physical(node, protocol.informed_label)
+            mediators_by_channel.setdefault(channel, []).append(node)
+        assert set(mediators_by_channel) == used_channels
+        assert all(len(v) == 1 for v in mediators_by_channel.values())
+
+    def test_mediator_is_min_id_in_last_cluster(self):
+        """Lemma 7's election rule, checked against the trace."""
+        trace = EventTrace()
+        network = shared_network(seed=17)
+        engine = self.build_protocols(network, seed=17)
+        engine.trace = trace
+        l = 80
+        engine.run(l + network.num_nodes, stop_when=lambda e: e.slot >= l + network.num_nodes)
+        clusters = clusters_from_trace(trace, root=0)
+        by_channel: dict[int, list] = {}
+        for info in clusters.values():
+            by_channel.setdefault(info.key.channel, []).append(info)
+        assignment = network.assignment_at(0)
+        elected = {}
+        for node, protocol in enumerate(engine.protocols):
+            if node != 0 and protocol.is_mediator:
+                channel = assignment.physical(node, protocol.informed_label)
+                elected[channel] = node
+        for channel, infos in by_channel.items():
+            last = max(infos, key=lambda info: info.key.slot)
+            assert elected[channel] == min(last.members)
+
+    def test_informers_learn_their_clusters(self):
+        """Lemma 9: after phase three, informers know each cluster's size."""
+        trace = EventTrace()
+        network = shared_network(seed=18)
+        engine = self.build_protocols(network, seed=18)
+        engine.trace = trace
+        l = 80
+        n = network.num_nodes
+        engine.run(2 * l + n, stop_when=lambda e: e.slot >= 2 * l + n)
+        clusters = clusters_from_trace(trace, root=0)
+        expected: dict[int, dict[int, int]] = {}
+        for info in clusters.values():
+            expected.setdefault(info.informer, {})[info.key.slot] = info.size
+        for node, protocol in enumerate(engine.protocols):
+            got = {
+                pending.slot: pending.size for pending in protocol._pending
+            }
+            assert got == expected.get(node, {})

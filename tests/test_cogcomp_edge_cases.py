@@ -1,0 +1,161 @@
+"""Edge-case and adversarial-input tests for COGCOMP."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assignment import identical, shared_core, two_set_worst_case
+from repro.core import (
+    CogComp,
+    CollectAggregator,
+    SumAggregator,
+    run_data_aggregation,
+)
+from repro.sim import Network, build_engine
+from repro.sim.protocol import NodeView
+from repro.sim.rng import derive_rng
+
+
+def view(node_id=0, c=4, k=2, n=8, seed=0) -> NodeView:
+    return NodeView(
+        node_id=node_id,
+        num_channels=c,
+        overlap=k,
+        num_nodes=n,
+        rng=derive_rng(seed, "edge-node", node_id),
+    )
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_phase1(self):
+        with pytest.raises(ValueError):
+            CogComp(
+                view(),
+                phase1_slots=0,
+                value=1.0,
+                aggregator=SumAggregator(),
+            )
+
+    def test_timetable_layout(self):
+        protocol = CogComp(
+            view(n=10),
+            phase1_slots=50,
+            value=1.0,
+            aggregator=SumAggregator(),
+        )
+        assert protocol.phase2_start == 50
+        assert protocol.phase3_start == 60
+        assert protocol.phase4_start == 110
+
+    def test_source_starts_informed(self):
+        protocol = CogComp(
+            view(),
+            phase1_slots=10,
+            value=1.0,
+            aggregator=SumAggregator(),
+            is_source=True,
+        )
+        assert protocol._cogcast.informed
+
+
+class TestAdversarialInstances:
+    def test_worst_case_two_set_assignment(self):
+        """The Lemma 12 instance: everyone in one big cluster family."""
+        rng = random.Random(0)
+        network = Network.static(
+            two_set_worst_case(14, 6, 2, rng).shuffled_labels(rng),
+            validate=False,
+        )
+        values = [float(node) for node in range(14)]
+        result = run_data_aggregation(
+            network, values, seed=0, aggregator=SumAggregator(),
+            require_completion=True,
+        )
+        assert result.value == sum(values)
+
+    def test_star_topology_single_channel(self):
+        """One channel: the tree is a pure star, one giant cluster."""
+        network = Network.static(identical(12, 1))
+        result = run_data_aggregation(
+            network, list(range(12)), seed=1, aggregator=CollectAggregator(),
+            require_completion=True,
+        )
+        assert result.value == {node: node for node in range(12)}
+        # Star: the source collects 11 members one step each, plus slack.
+        assert result.phase4_slots >= 3 * 11
+
+    def test_broken_aggregator_surfaces(self):
+        """A combine() that raises must propagate, not corrupt."""
+
+        class BrokenAggregator(SumAggregator):
+            def combine(self, left, right):
+                raise RuntimeError("boom")
+
+        rng = random.Random(2)
+        network = Network.static(
+            shared_core(8, 4, 2, rng).shuffled_labels(rng), validate=False
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            run_data_aggregation(
+                network, [1.0] * 8, seed=2, aggregator=BrokenAggregator()
+            )
+
+    def test_unhashable_values_work_with_collect(self):
+        """Values are opaque: lists (unhashable) must flow through."""
+        rng = random.Random(3)
+        network = Network.static(
+            shared_core(6, 4, 2, rng).shuffled_labels(rng), validate=False
+        )
+        values = [[node, node * 2] for node in range(6)]
+        result = run_data_aggregation(
+            network, values, seed=3, aggregator=CollectAggregator(),
+            require_completion=True,
+        )
+        assert result.value == {node: values[node] for node in range(6)}
+
+
+class TestStateExposure:
+    def test_phase4_steps_counted(self):
+        rng = random.Random(4)
+        network = Network.static(
+            shared_core(8, 4, 2, rng).shuffled_labels(rng), validate=False
+        )
+
+        def factory(v):
+            return CogComp(
+                v,
+                phase1_slots=40,
+                value=1.0,
+                aggregator=SumAggregator(),
+                is_source=(v.node_id == 0),
+            )
+
+        engine = build_engine(network, factory, seed=4)
+        source = engine.protocols[0]
+        engine.run(40 * 2 + 8 + 3 * 200, stop_when=lambda _: source.done)
+        assert source.done
+        assert source.phase4_steps >= 1
+
+    def test_mediator_flags_exposed(self):
+        rng = random.Random(5)
+        network = Network.static(
+            shared_core(10, 4, 2, rng).shuffled_labels(rng), validate=False
+        )
+
+        def factory(v):
+            return CogComp(
+                v,
+                phase1_slots=40,
+                value=1.0,
+                aggregator=SumAggregator(),
+                is_source=(v.node_id == 0),
+            )
+
+        engine = build_engine(network, factory, seed=5)
+        source = engine.protocols[0]
+        engine.run(40 * 2 + 10 + 3 * 200, stop_when=lambda _: source.done)
+        mediators = [p for p in engine.protocols if p.is_mediator]
+        assert mediators, "some channel must have informed someone"
+        assert all(not p.failed for p in engine.protocols)

@@ -1,0 +1,172 @@
+"""Trace-level invariant checks on COGCOMP's phase four.
+
+These tests watch the wire, not the protocol state: from an
+:class:`EventTrace` of phase four they verify the step discipline the
+paper prescribes — who is allowed to transmit in which slot of a step,
+one mediator announcement per channel, acks echoing real reports.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assignment import shared_core
+from repro.core import CogComp, SumAggregator
+from repro.core.messages import (
+    AckPayload,
+    ClusterSizePayload,
+    CountPayload,
+    InitPayload,
+    MediatorAnnouncePayload,
+    ValueReportPayload,
+)
+from repro.sim import Engine, EventTrace, Network, build_engine
+
+
+L = 80  # phase-one length for all tests in this module
+
+
+def run_traced(n=14, c=6, k=2, seed=21):
+    rng = random.Random(seed)
+    network = Network.static(
+        shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+    values = [float(node) for node in range(n)]
+    trace = EventTrace()
+
+    def factory(view):
+        return CogComp(
+            view,
+            phase1_slots=L,
+            value=values[view.node_id],
+            aggregator=SumAggregator(),
+            is_source=(view.node_id == 0),
+        )
+
+    engine = build_engine(network, factory, seed=seed, trace=trace)
+    engine.trace = trace
+    source = engine.protocols[0]
+    result = engine.run(2 * L + n + 3 * (6 * n + 64), stop_when=lambda _: source.done)
+    assert result.completed
+    assert source.aggregate == sum(values)
+    return trace, n
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return run_traced()
+
+
+def phase4_events(trace, n):
+    start = 2 * L + n
+    return [(event, (event.slot - start) % 3) for event in trace if event.slot >= start]
+
+
+class TestSlotDiscipline:
+    def test_slot1_only_mediator_announcements(self, traced):
+        trace, n = traced
+        for event, slot_in_step in phase4_events(trace, n):
+            if slot_in_step != 0:
+                continue
+            for _ in event.broadcasters:
+                pass
+            if event.winner is not None:
+                assert isinstance(event.winner.payload, MediatorAnnouncePayload)
+            # At most one broadcaster: one mediator per channel.
+            assert len(event.broadcasters) <= 1
+
+    def test_slot2_only_value_reports(self, traced):
+        trace, n = traced
+        for event, slot_in_step in phase4_events(trace, n):
+            if slot_in_step != 1 or event.winner is None:
+                continue
+            assert isinstance(event.winner.payload, ValueReportPayload)
+
+    def test_slot3_only_acks_single_broadcaster(self, traced):
+        trace, n = traced
+        for event, slot_in_step in phase4_events(trace, n):
+            if slot_in_step != 2:
+                continue
+            if event.winner is not None:
+                assert isinstance(event.winner.payload, AckPayload)
+            assert len(event.broadcasters) <= 1
+
+    def test_acks_echo_prior_reports(self, traced):
+        """Every acked id sent a winning report for that channel earlier
+        in the same step."""
+        trace, n = traced
+        start = 2 * L + n
+        reports: dict[tuple[int, int], int] = {}
+        for event in trace:
+            if event.slot < start or event.winner is None:
+                continue
+            slot_in_step = (event.slot - start) % 3
+            step = (event.slot - start) // 3
+            if slot_in_step == 1 and isinstance(event.winner.payload, ValueReportPayload):
+                reports[(step, event.channel)] = event.winner.sender
+            if slot_in_step == 2 and isinstance(event.winner.payload, AckPayload):
+                assert reports.get((step, event.channel)) == event.winner.payload.node
+
+
+class TestPhaseSeparation:
+    def test_payload_types_by_phase(self, traced):
+        trace, n = traced
+        for event in trace:
+            if event.winner is None:
+                continue
+            payload = event.winner.payload
+            if event.slot < L:
+                assert isinstance(payload, InitPayload)
+            elif event.slot < L + n:
+                assert isinstance(payload, CountPayload)
+            elif event.slot < 2 * L + n:
+                assert isinstance(payload, ClusterSizePayload)
+            else:
+                assert isinstance(
+                    payload,
+                    (MediatorAnnouncePayload, ValueReportPayload, AckPayload),
+                )
+
+    def test_phase2_each_node_wins_exactly_once(self, traced):
+        trace, n = traced
+        winners = [
+            event.winner.sender
+            for event in trace
+            if L <= event.slot < L + n and event.winner is not None
+        ]
+        assert len(winners) == len(set(winners))
+        # Every non-source node won its census broadcast exactly once.
+        assert set(winners) == set(range(1, n))
+
+    def test_each_value_report_id_acked_exactly_once(self, traced):
+        trace, n = traced
+        start = 2 * L + n
+        acked = [
+            event.winner.payload.node
+            for event in trace
+            if event.slot >= start
+            and event.winner is not None
+            and isinstance(event.winner.payload, AckPayload)
+        ]
+        # Every non-source node is acked exactly once (its single report).
+        assert sorted(acked) == list(range(1, n))
+
+
+class TestMultipleSeeds:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_invariants_hold_across_seeds(self, seed):
+        trace, n = run_traced(n=10, c=5, k=2, seed=seed)
+        start = 2 * L + n
+        for event in trace:
+            if event.slot < start or event.winner is None:
+                continue
+            slot_in_step = (event.slot - start) % 3
+            payload = event.winner.payload
+            expected = {
+                0: MediatorAnnouncePayload,
+                1: ValueReportPayload,
+                2: AckPayload,
+            }[slot_in_step]
+            assert isinstance(payload, expected)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.sim.collision — contention models."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.sim.actions import Envelope
+from repro.sim.collision import (
+    AllDeliveredCollision,
+    DestructiveCollision,
+    SingleWinnerCollision,
+)
+
+
+def envelopes(count: int) -> list[Envelope]:
+    return [Envelope(sender=i, payload=f"m{i}") for i in range(count)]
+
+
+class TestSingleWinner:
+    def test_empty_channel(self):
+        resolution = SingleWinnerCollision().resolve([], random.Random(0))
+        assert resolution.winner is None
+        assert resolution.extras == ()
+
+    def test_single_broadcaster_always_wins(self):
+        env = envelopes(1)
+        resolution = SingleWinnerCollision().resolve(env, random.Random(0))
+        assert resolution.winner is env[0]
+
+    def test_winner_among_broadcasters(self):
+        env = envelopes(5)
+        resolution = SingleWinnerCollision().resolve(env, random.Random(0))
+        assert resolution.winner in env
+
+    def test_no_extras(self):
+        env = envelopes(5)
+        resolution = SingleWinnerCollision().resolve(env, random.Random(0))
+        assert resolution.extras == ()
+
+    def test_winner_uniform(self):
+        """The paper requires the winner be chosen uniformly at random."""
+        env = envelopes(4)
+        rng = random.Random(7)
+        model = SingleWinnerCollision()
+        counts = Counter(
+            model.resolve(env, rng).winner.sender for _ in range(8000)
+        )
+        for sender in range(4):
+            # Each of the 4 senders should win ~2000 times; allow wide slack.
+            assert 1700 < counts[sender] < 2300, counts
+
+
+class TestAllDelivered:
+    def test_everything_delivered(self):
+        env = envelopes(4)
+        resolution = AllDeliveredCollision().resolve(env, random.Random(0))
+        delivered = {resolution.winner} | set(resolution.extras)
+        assert delivered == set(env)
+
+    def test_extras_exclude_winner(self):
+        env = envelopes(3)
+        resolution = AllDeliveredCollision().resolve(env, random.Random(1))
+        assert resolution.winner not in resolution.extras
+
+    def test_empty(self):
+        resolution = AllDeliveredCollision().resolve([], random.Random(0))
+        assert resolution.winner is None
+
+
+class TestDestructive:
+    def test_single_succeeds(self):
+        env = envelopes(1)
+        resolution = DestructiveCollision().resolve(env, random.Random(0))
+        assert resolution.winner is env[0]
+
+    def test_two_destroy_each_other(self):
+        env = envelopes(2)
+        resolution = DestructiveCollision().resolve(env, random.Random(0))
+        assert resolution.winner is None
+
+    def test_empty(self):
+        assert DestructiveCollision().resolve([], random.Random(0)).winner is None

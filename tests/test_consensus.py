@@ -1,0 +1,98 @@
+"""Tests for the consensus application and the majority aggregator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps import run_consensus
+from repro.assignment import shared_core
+from repro.core.aggregation import MajorityAggregator
+from repro.sim import Network
+
+
+def network(n=16, c=6, k=2, seed=0) -> Network:
+    rng = random.Random(seed)
+    return Network.static(
+        shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+
+
+class TestMajorityAggregator:
+    def test_histogram_carrier(self):
+        agg = MajorityAggregator()
+        merged = agg.combine(agg.lift(0, "a"), agg.lift(1, "a"))
+        merged = agg.combine(merged, agg.lift(2, "b"))
+        assert merged == {"a": 2, "b": 1}
+
+    def test_commutative(self):
+        agg = MajorityAggregator()
+        left = {"x": 2, "y": 1}
+        right = {"y": 3, "z": 1}
+        assert agg.combine(left, right) == agg.combine(right, left)
+
+    def test_winner_plurality(self):
+        assert MajorityAggregator.winner({"a": 3, "b": 2}) == "a"
+
+    def test_winner_tie_is_stable(self):
+        assert MajorityAggregator.winner({"b": 2, "a": 2}) == "a"
+        assert MajorityAggregator.winner({"a": 2, "b": 2}) == "a"
+
+    def test_size_grows_with_domain(self):
+        agg = MajorityAggregator()
+        assert agg.size_bits({"a": 5}) < agg.size_bits({"a": 1, "b": 1, "c": 1})
+
+
+class TestRunConsensus:
+    def test_agreement_and_validity(self):
+        net = network()
+        inputs = ["red"] * 10 + ["blue"] * 6
+        result = run_consensus(net, inputs, seed=1)
+        assert result.decided
+        assert result.decision == "red"  # plurality
+        assert result.decision in inputs  # validity
+        assert result.votes == {"red": 10, "blue": 6}
+
+    def test_unanimous(self):
+        net = network()
+        result = run_consensus(net, ["v"] * 16, seed=2)
+        assert result.decided
+        assert result.decision == "v"
+        assert result.votes == {"v": 16}
+
+    def test_binary_consensus_many_seeds(self):
+        net = network(n=12, c=5, k=2, seed=5)
+        for seed in range(8):
+            rng = random.Random(seed)
+            inputs = [rng.choice([0, 1]) for _ in range(12)]
+            result = run_consensus(net, inputs, seed=seed)
+            assert result.decided
+            expected = MajorityAggregator.winner(
+                {v: inputs.count(v) for v in set(inputs)}
+            )
+            assert result.decision == expected
+
+    def test_nonzero_coordinator(self):
+        net = network()
+        result = run_consensus(net, list(range(16)), coordinator=7, seed=3)
+        assert result.decided
+        assert result.decision in range(16)
+
+    def test_slot_accounting(self):
+        net = network()
+        result = run_consensus(net, [1] * 16, seed=4)
+        assert result.total_slots == result.gather_slots + result.disseminate_slots
+        assert result.gather_slots > 0
+        assert result.disseminate_slots > 0
+
+    def test_wrong_input_count(self):
+        with pytest.raises(ValueError):
+            run_consensus(network(), [1, 2, 3], seed=0)
+
+    def test_failure_reported_not_hidden(self):
+        """A hopeless phase-one budget fails visibly."""
+        net = network()
+        result = run_consensus(net, [1] * 16, seed=5, phase1_slots=1)
+        assert not result.decided
+        assert result.decision is None

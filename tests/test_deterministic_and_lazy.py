@@ -1,0 +1,142 @@
+"""Tests for the stay-and-scan baseline and the lazy-adversary referee."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.assignment import shared_core, two_set_worst_case
+from repro.baselines import (
+    run_stay_and_scan_broadcast,
+    stay_and_scan_pairwise,
+)
+from repro.games import (
+    ExhaustivePlayer,
+    LazyHittingGame,
+    UniformRandomPlayer,
+    play,
+)
+from repro.sim import Network
+from repro.types import GameError
+
+
+class TestStayAndScanPairwise:
+    def test_always_meets_within_c_squared(self):
+        for seed in range(50):
+            slots = stay_and_scan_pairwise(8, 1, random.Random(seed))
+            assert 1 <= slots <= 64
+
+    def test_zero_failures_even_at_k1(self):
+        """The deterministic guarantee: no instance exceeds c^2."""
+        c = 12
+        worst = max(
+            stay_and_scan_pairwise(c, 1, random.Random(seed))
+            for seed in range(200)
+        )
+        assert worst <= c * c
+
+    def test_more_overlap_faster_on_average(self):
+        c = 16
+        mean_k1 = statistics.mean(
+            stay_and_scan_pairwise(c, 1, random.Random(seed)) for seed in range(100)
+        )
+        mean_k8 = statistics.mean(
+            stay_and_scan_pairwise(c, 8, random.Random(seed)) for seed in range(100)
+        )
+        assert mean_k8 < mean_k1
+
+
+class TestStayAndScanBroadcast:
+    def test_completes_within_c_squared(self):
+        rng = random.Random(0)
+        c = 6
+        network = Network.static(
+            shared_core(10, c, 2, rng).shuffled_labels(rng), validate=False
+        )
+        result = run_stay_and_scan_broadcast(network, seed=0)
+        assert result.completed
+        assert result.slots <= c * c
+
+    def test_worst_case_instance(self):
+        """Even on the adversarial two-set instance with k = 1."""
+        rng = random.Random(1)
+        c = 8
+        network = Network.static(
+            two_set_worst_case(6, c, 1, rng).shuffled_labels(rng), validate=False
+        )
+        result = run_stay_and_scan_broadcast(network, seed=1)
+        assert result.completed
+        assert result.slots <= c * c
+
+    def test_all_parents_are_source(self):
+        rng = random.Random(2)
+        network = Network.static(
+            shared_core(8, 5, 2, rng).shuffled_labels(rng), validate=False
+        )
+        result = run_stay_and_scan_broadcast(network, source=3, seed=2)
+        assert result.completed
+        assert all(
+            parent == 3 for node, parent in enumerate(result.parents) if node != 3
+        )
+
+
+class TestLazyHittingGame:
+    def test_interface_parity(self):
+        game = LazyHittingGame(4, 2)
+        assert game.k == 2
+        assert not game.won
+        with pytest.raises(GameError):
+            game.propose((4, 0))
+
+    def test_exhaustive_player_eventually_wins(self):
+        game = LazyHittingGame(5, 2)
+        rounds = play(game, ExhaustivePlayer(5, random.Random(0)), max_rounds=25)
+        assert rounds is not None
+        assert game.won
+
+    def test_win_round_far_above_uniform_referee(self):
+        """The lazy adversary is much harder than the random referee:
+        it forces the player to nearly exhaust the edge set."""
+        c, k = 6, 2
+        lazy_rounds = []
+        uniform_rounds = []
+        for seed in range(10):
+            lazy = LazyHittingGame(c, k)
+            lazy_rounds.append(
+                play(lazy, ExhaustivePlayer(c, random.Random(seed)), max_rounds=c * c)
+            )
+            from repro.games import bipartite_hitting_game
+
+            uniform = bipartite_hitting_game(c, k, random.Random(seed))
+            uniform_rounds.append(
+                play(uniform, ExhaustivePlayer(c, random.Random(seed)), max_rounds=c * c)
+            )
+        assert statistics.mean(lazy_rounds) > statistics.mean(uniform_rounds)
+        # Lemma 11's bound certainly holds against the lazy referee.
+        assert min(lazy_rounds) >= c * c / (8 * k)
+
+    def test_consistency_with_some_matching(self):
+        """When the lazy referee concedes, the winning edge plus the
+        history is consistent: no earlier 'miss' edge can be forced."""
+        c, k = 4, 2
+        game = LazyHittingGame(c, k)
+        player = UniformRandomPlayer(c, random.Random(3))
+        history: list[tuple] = []
+        while not game.won:
+            edge = player.next_proposal()
+            won = game.propose(edge)
+            history.append((edge, won))
+            assert len(history) < 1000
+        hits = [edge for edge, won in history if won]
+        assert len(hits) == 1
+
+    def test_k_equals_c_concedes_only_when_no_perfect_matching_avoids(self):
+        game = LazyHittingGame(3, 3)
+        rounds = play(game, ExhaustivePlayer(3, random.Random(1)), max_rounds=9)
+        assert rounds is not None
+        # A perfect matching on K_{3,3} survives until few edges remain:
+        # at least 9 - 6 + 1 = 4 proposals are needed (remove enough
+        # edges that every bijection is hit).
+        assert rounds >= 4

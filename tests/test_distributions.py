@@ -1,0 +1,116 @@
+"""Unit tests for repro.analysis.distributions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.distributions import (
+    Ecdf,
+    fit_geometric,
+    tail_at_multiples,
+)
+
+
+class TestEcdf:
+    def test_basic_values(self):
+        ecdf = Ecdf.from_samples([1, 2, 3, 4])
+        assert ecdf(0) == 0.0
+        assert ecdf(1) == 0.25
+        assert ecdf(2.5) == 0.5
+        assert ecdf(4) == 1.0
+
+    def test_tail(self):
+        ecdf = Ecdf.from_samples([1, 2, 3, 4])
+        assert ecdf.tail(2) == 0.5
+        assert ecdf.tail(100) == 0.0
+
+    def test_quantile(self):
+        ecdf = Ecdf.from_samples([10, 20, 30, 40])
+        assert ecdf.quantile(0.25) == 10
+        assert ecdf.quantile(0.5) == 20
+        assert ecdf.quantile(1.0) == 40
+
+    def test_quantile_bounds(self):
+        ecdf = Ecdf.from_samples([1])
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.0)
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_support(self):
+        assert Ecdf.from_samples([3, 1, 2]).support() == (1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([])
+
+    def test_monotone(self):
+        ecdf = Ecdf.from_samples([5, 2, 9, 2, 7])
+        values = [ecdf(x) for x in range(0, 12)]
+        assert values == sorted(values)
+
+
+class TestGeometricFit:
+    def test_recovers_known_p(self):
+        rng = random.Random(0)
+        p = 0.2
+        samples = []
+        for _ in range(4000):
+            t = 1
+            while rng.random() >= p:
+                t += 1
+            samples.append(t)
+        fit = fit_geometric(samples)
+        assert abs(fit.p - p) < 0.02
+        assert abs(fit.mean - 1 / p) < 0.5
+        assert fit.ks_distance < 0.05
+
+    def test_rejects_sub_one_samples(self):
+        with pytest.raises(ValueError):
+            fit_geometric([0.5, 2])
+
+    def test_degenerate_all_ones(self):
+        fit = fit_geometric([1, 1, 1])
+        assert fit.p == 1.0
+        assert fit.cdf(1) == 1.0
+
+    def test_cdf_shape(self):
+        fit = fit_geometric([2, 2, 2, 2])
+        assert fit.cdf(0.5) == 0.0
+        assert 0 < fit.cdf(1) < fit.cdf(3) <= 1.0
+
+    def test_rendezvous_is_geometric(self):
+        """Uniform-hopping rendezvous should fit geometric(k/c^2) well."""
+        from repro.baselines import pairwise_rendezvous_slots
+
+        c, k = 8, 2
+        rng = random.Random(1)
+        samples = [pairwise_rendezvous_slots(c, k, rng) for _ in range(1500)]
+        fit = fit_geometric(samples)
+        assert abs(fit.p - k / (c * c)) / (k / (c * c)) < 0.15
+        assert fit.ks_distance < 0.06
+
+
+class TestTailAtMultiples:
+    def test_values(self):
+        samples = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        tails = tail_at_multiples(samples, base=5, multiples=[1, 2])
+        assert tails == [(1, 0.5), (2, 0.0)]
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            tail_at_multiples([1], base=0, multiples=[1])
+
+    def test_cogcast_tail_decays(self):
+        """The w.h.p. story: runs beyond 2-3x the predictor are rare."""
+        from repro.experiments.e01_cogcast_scaling_n import measure_cogcast_slots
+        from repro.analysis.theory import lg
+
+        n, c, k = 32, 8, 2
+        samples = [measure_cogcast_slots(n, c, k, seed) for seed in range(60)]
+        base = (c / k) * lg(n)
+        tails = dict(tail_at_multiples(samples, base, [1, 2, 3]))
+        assert tails[3] <= tails[2] <= tails[1]
+        assert tails[3] < 0.1

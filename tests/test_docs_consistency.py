@@ -1,0 +1,94 @@
+"""Documentation-consistency guards.
+
+The repo's promise is that DESIGN.md maps every claim to an experiment
+and EXPERIMENTS.md records every experiment's outcome.  These tests
+keep the documents and the registry from drifting apart.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import load_all
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestDesignDoc:
+    def test_every_experiment_in_design_table(self):
+        design = read("DESIGN.md")
+        for experiment_id in load_all():
+            assert f"| {experiment_id} |" in design, (
+                f"{experiment_id} missing from DESIGN.md's experiment index"
+            )
+
+    def test_no_phantom_experiments_in_design(self):
+        design = read("DESIGN.md")
+        documented = set(re.findall(r"^\| (E\d{2}) \|", design, re.MULTILINE))
+        registered = set(load_all())
+        assert documented <= registered, (
+            f"DESIGN.md documents unknown experiments: {documented - registered}"
+        )
+
+    def test_paper_check_recorded(self):
+        assert "Paper-text check" in read("DESIGN.md")
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_has_a_section(self):
+        experiments = read("EXPERIMENTS.md")
+        for experiment_id in load_all():
+            assert experiment_id in experiments, (
+                f"{experiment_id} missing from EXPERIMENTS.md"
+            )
+
+    def test_verdicts_present(self):
+        experiments = read("EXPERIMENTS.md")
+        assert experiments.count("reproduced") >= 20
+
+
+class TestReadme:
+    def test_counts_match_registry(self):
+        readme = read("README.md")
+        count = len(load_all())
+        assert f"the {count} reproduction experiments" in readme
+        assert f"All {count} experiments" in readme
+
+    def test_install_paths_documented(self):
+        readme = read("README.md")
+        assert "pip install -e ." in readme
+        assert "setup.py develop" in readme
+
+    def test_package_map_mentions_every_subpackage(self):
+        readme = read("README.md")
+        for package in (
+            "repro.sim",
+            "repro.assignment",
+            "repro.core",
+            "repro.baselines",
+            "repro.games",
+            "repro.backoff",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.spectrum",
+            "repro.apps",
+        ):
+            assert package in readme, f"{package} missing from README"
+
+
+class TestBenchCoverage:
+    def test_every_experiment_has_a_benchmark(self):
+        bench_sources = "\n".join(
+            path.read_text() for path in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for experiment_id in load_all():
+            assert f'get("{experiment_id}")' in bench_sources, (
+                f"{experiment_id} has no benchmark"
+            )

@@ -1,0 +1,130 @@
+"""Engine behaviour under the alternative collision models and
+combined adversarial features (jamming + faults + traces together)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment import identical, shared_core
+from repro.core import run_local_broadcast
+from repro.sim import (
+    AllDeliveredCollision,
+    Broadcast,
+    ChannelAssignment,
+    CrashFault,
+    DestructiveCollision,
+    Engine,
+    EventTrace,
+    Listen,
+    Network,
+    TargetedJammer,
+    with_faults,
+)
+from tests.test_engine import ScriptedProtocol
+
+
+def three_on_one_channel() -> Network:
+    return Network.static(ChannelAssignment(((0,), (0,), (0,)), overlap=1))
+
+
+class TestAllDeliveredInEngine:
+    def test_listener_receives_all_messages(self):
+        a = ScriptedProtocol([Broadcast(0, "a")])
+        b = ScriptedProtocol([Broadcast(0, "b")])
+        listener = ScriptedProtocol([Listen(0)])
+        engine = Engine(
+            three_on_one_channel(),
+            [a, b, listener],
+            collision=AllDeliveredCollision(),
+        )
+        engine.step()
+        outcome = listener.outcomes[0]
+        payloads = {outcome.received.payload}
+        payloads.update(extra.payload for extra in outcome.extra_received)
+        assert payloads == {"a", "b"}
+
+    def test_failed_broadcaster_does_not_receive_own_extra(self):
+        a = ScriptedProtocol([Broadcast(0, "a")])
+        b = ScriptedProtocol([Broadcast(0, "b")])
+        listener = ScriptedProtocol([Listen(0)])
+        engine = Engine(
+            three_on_one_channel(),
+            [a, b, listener],
+            collision=AllDeliveredCollision(),
+        )
+        engine.step()
+        for protocol, own in ((a, "a"), (b, "b")):
+            outcome = protocol.outcomes[0]
+            if outcome.success:
+                continue
+            heard = {extra.payload for extra in outcome.extra_received}
+            if outcome.received is not None:
+                heard.add(outcome.received.payload)
+            assert own not in heard
+
+
+class TestDestructiveInEngine:
+    def test_collision_delivers_nothing(self):
+        a = ScriptedProtocol([Broadcast(0, "a")])
+        b = ScriptedProtocol([Broadcast(0, "b")])
+        listener = ScriptedProtocol([Listen(0)])
+        engine = Engine(
+            three_on_one_channel(),
+            [a, b, listener],
+            collision=DestructiveCollision(),
+        )
+        engine.step()
+        assert listener.outcomes[0].received is None
+        assert a.outcomes[0].success is False
+        assert b.outcomes[0].success is False
+
+    def test_lone_broadcast_still_works(self):
+        a = ScriptedProtocol([Broadcast(0, "a")])
+        idle = ScriptedProtocol([Listen(0)])
+        listener = ScriptedProtocol([Listen(0)])
+        engine = Engine(
+            three_on_one_channel(),
+            [a, idle, listener],
+            collision=DestructiveCollision(),
+        )
+        engine.step()
+        assert listener.outcomes[0].received is not None
+
+    def test_cogcast_survives_destructive_model(self):
+        """With destructive collisions COGCAST is slower (informed nodes
+        can jam each other) but still completes: collisions only happen
+        on crowded channels, and lone broadcasts get through."""
+        rng = random.Random(0)
+        network = Network.static(
+            shared_core(12, 6, 2, rng).shuffled_labels(rng), validate=False
+        )
+        result = run_local_broadcast(
+            network, seed=0, max_slots=200_000, collision=DestructiveCollision()
+        )
+        assert result.completed
+
+
+class TestFeatureComposition:
+    def test_jamming_faults_and_trace_together(self):
+        """All engine features stack without interfering."""
+        from repro.core import CogCast
+        from repro.sim import make_views
+
+        network = Network.static(identical(8, 4), validate=False)
+        views = make_views(network, seed=3)
+        protocols = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+        wrapped = with_faults(protocols, {5: [CrashFault(crash_slot=4)]})
+        trace = EventTrace()
+        jammer = TargetedJammer({3: frozenset({0})})
+        engine = Engine(network, wrapped, seed=3, trace=trace, jammer=jammer)
+        goal_nodes = [n for n in range(8) if n != 5]
+        result = engine.run(
+            50_000,
+            stop_when=lambda _: all(protocols[n].informed for n in goal_nodes),
+        )
+        assert result.completed
+        assert len(trace) > 0
+        # Node 3's jammed channel-0 receptions are recorded as jammed.
+        jammed_events = [e for e in trace if 3 in e.jammed_nodes]
+        for event in jammed_events:
+            assert event.channel == 0

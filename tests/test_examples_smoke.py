@@ -1,0 +1,55 @@
+"""Smoke tests: the fast example scripts run to completion as subprocesses.
+
+Each example is a deliverable; these tests keep them from rotting.
+Only the quick ones run here (the remaining scripts exercise the same
+code paths with larger trial counts and are validated manually / in
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "lower_bound_games.py",
+    "repeated_rendezvous.py",
+    "whitespace_world.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_exist():
+    """Every example referenced by the README exists on disk."""
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert script.name in readme, f"{script.name} missing from README"
+
+
+def test_quickstart_asserts_correct_aggregate():
+    """quickstart.py contains (and passes) its own correctness assert."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "aggregate at source" in result.stdout

@@ -1,0 +1,132 @@
+"""Unit tests for the experiment modules' measurement helpers.
+
+The table-producing ``run`` functions are covered by
+tests/test_experiments.py; these tests pin down the underlying
+measurement functions, which users may call directly for their own
+studies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.e01_cogcast_scaling_n import measure_cogcast_slots
+from repro.experiments.e04_broadcast_head_to_head import measure_rendezvous_slots
+from repro.experiments.e05_cogcomp_scaling import measure_cogcomp
+from repro.experiments.e06_aggregation_head_to_head import (
+    measure_baseline_aggregation,
+)
+from repro.experiments.e07_bipartite_hitting import median_win_round
+from repro.experiments.e10_global_label_bound import first_overlap_slot
+from repro.experiments.e11_hopping_vs_cogcast import measure_pair
+from repro.experiments.e12_overlap_patterns import measure_pattern
+from repro.experiments.e17_fault_tolerance import measure_faulty_broadcast
+from repro.experiments.e18_message_overhead import measure_message_bits
+from repro.experiments.e19_jamming_equivalence import (
+    measure_oblivious,
+    measure_reduction,
+)
+
+
+class TestBroadcastMeasures:
+    def test_cogcast_deterministic_in_seed(self):
+        assert measure_cogcast_slots(16, 8, 2, 42) == measure_cogcast_slots(16, 8, 2, 42)
+
+    def test_cogcast_positive(self):
+        assert measure_cogcast_slots(8, 4, 2, 0) >= 1
+
+    def test_rendezvous_slower_than_cogcast_generally(self):
+        # Single seeds can cross, so compare small means.
+        cog = sum(measure_cogcast_slots(32, 8, 2, s) for s in range(4))
+        rdv = sum(measure_rendezvous_slots(32, 8, 2, s) for s in range(4))
+        assert rdv > cog
+
+
+class TestAggregationMeasures:
+    def test_cogcomp_breakdown_consistent(self):
+        breakdown = measure_cogcomp(12, 8, 2, 3)
+        assert breakdown["phase2"] == 12
+        assert breakdown["phase1"] == breakdown["phase3"]
+        assert breakdown["total"] == (
+            breakdown["phase1"]
+            + breakdown["phase2"]
+            + breakdown["phase3"]
+            + breakdown["phase4"]
+        )
+
+    def test_baseline_positive(self):
+        assert measure_baseline_aggregation(8, 4, 2, 0) > 0
+
+
+class TestGameMeasures:
+    def test_median_win_round_players(self):
+        for player in ("uniform", "exhaustive", "diagonal"):
+            value = median_win_round(8, 2, player, seeds=list(range(5)))
+            assert value >= 1
+
+    def test_median_win_round_unknown_player(self):
+        with pytest.raises(ValueError):
+            median_win_round(8, 2, "psychic", seeds=[0])
+
+
+class TestGlobalLabelMeasure:
+    def test_scan_bounded_by_c(self):
+        for seed in range(20):
+            assert 1 <= first_overlap_slot(12, 3, "scan", seed) <= 12
+
+    def test_scan_k_equals_c_is_first_slot(self):
+        assert first_overlap_slot(6, 6, "scan", 0) == 1
+        assert first_overlap_slot(6, 6, "uniform", 0) == 1
+
+    def test_uniform_unbounded_but_finite(self):
+        assert first_overlap_slot(12, 1, "uniform", 0) >= 1
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            first_overlap_slot(8, 2, "telepathy", 0)
+
+    def test_scan_mean_matches_formula(self):
+        c, k = 20, 4
+        samples = [first_overlap_slot(c, k, "scan", seed) for seed in range(600)]
+        expected = (c + 1) / (k + 1)
+        assert abs(sum(samples) / len(samples) - expected) < 0.6
+
+
+class TestDiscussionMeasures:
+    def test_hopping_beats_cogcast_on_instance(self):
+        hop, cog = measure_pair(4, 0)
+        assert hop <= cog
+
+    def test_pattern_measures_positive(self):
+        for pattern in ("shared-core", "pairwise-blocks", "random-core"):
+            assert measure_pattern(pattern, 6, 10, 2, 0) >= 1
+
+    def test_pattern_unknown(self):
+        with pytest.raises(ValueError):
+            measure_pattern("imaginary", 6, 10, 2, 0)
+
+
+class TestExtensionMeasures:
+    def test_faulty_broadcast_informs_all_live(self):
+        slots, informed, must = measure_faulty_broadcast(16, 6, 2, 0.25, "outage", 1)
+        assert informed == must
+        assert slots >= 1
+
+    def test_faulty_crash_excludes_victims(self):
+        _, informed, must = measure_faulty_broadcast(16, 6, 2, 0.5, "crash", 2)
+        assert informed == must
+        assert must < 16  # some victims really crashed
+
+    def test_faulty_unknown_kind(self):
+        with pytest.raises(ValueError):
+            measure_faulty_broadcast(8, 4, 2, 0.1, "gremlins", 0)
+
+    def test_message_bits_sum_constant(self):
+        assert measure_message_bits(12, 6, 2, __import__("repro.core", fromlist=["SumAggregator"]).SumAggregator(), 0) == 64
+
+    def test_jamming_sides_complete(self):
+        assert measure_oblivious(12, 8, 2, 0) >= 1
+        assert measure_reduction(12, 8, 2, 0) >= 1
+
+    def test_jamming_zero_budget_sides_agree(self):
+        assert measure_oblivious(12, 8, 0, 5) == measure_reduction(12, 8, 0, 5)

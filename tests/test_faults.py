@@ -1,0 +1,127 @@
+"""Unit tests for repro.sim.faults — crash and outage injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    Broadcast,
+    ChannelAssignment,
+    CrashFault,
+    Engine,
+    FaultyProtocol,
+    Idle,
+    Listen,
+    Network,
+    OutageFault,
+    with_faults,
+)
+from tests.test_engine import ScriptedProtocol
+
+
+class TestFaultTypes:
+    def test_crash_permanent(self):
+        fault = CrashFault(crash_slot=5)
+        assert not fault.active(4)
+        assert fault.active(5)
+        assert fault.active(1000)
+        assert fault.permanent_from == 5
+
+    def test_outage_intervals(self):
+        fault = OutageFault(((2, 4), (10, 11)))
+        assert not fault.active(1)
+        assert fault.active(2)
+        assert fault.active(3)
+        assert not fault.active(4)
+        assert fault.active(10)
+        assert not fault.active(11)
+        assert fault.permanent_from is None
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OutageFault(((3, 3),))
+
+
+class TestFaultyProtocol:
+    def test_outage_suppresses_and_resumes(self):
+        inner = ScriptedProtocol([Listen(0)] * 6)
+        faulty = FaultyProtocol(inner, [OutageFault(((2, 4),))])
+        actions = []
+        for slot in range(6):
+            action = faulty.begin_slot(slot)
+            actions.append(action)
+            from repro.sim.actions import SlotOutcome
+
+            faulty.end_slot(slot, SlotOutcome(slot=slot, action=action))
+        assert isinstance(actions[1], Listen)
+        assert isinstance(actions[2], Idle)
+        assert isinstance(actions[3], Idle)
+        assert isinstance(actions[4], Listen)
+        # The inner protocol observed every slot (stays slot-aligned).
+        assert len(inner.outcomes) == 6
+        assert isinstance(inner.outcomes[2].action, Idle)
+
+    def test_crash_makes_done(self):
+        inner = ScriptedProtocol([Listen(0)] * 10)
+        faulty = FaultyProtocol(inner, [CrashFault(crash_slot=3)])
+        for slot in range(3):
+            from repro.sim.actions import SlotOutcome
+
+            action = faulty.begin_slot(slot)
+            faulty.end_slot(slot, SlotOutcome(slot=slot, action=action))
+            assert not faulty.done
+        faulty.begin_slot(3)
+        assert faulty.done
+
+    def test_inner_done_propagates(self):
+        inner = ScriptedProtocol([Listen(0)] * 10, done_after=1)
+        faulty = FaultyProtocol(inner, [])
+        from repro.sim.actions import SlotOutcome
+
+        action = faulty.begin_slot(0)
+        faulty.end_slot(0, SlotOutcome(slot=0, action=action))
+        assert faulty.done
+
+
+class TestWithFaults:
+    def test_selective_wrapping(self):
+        protocols = [ScriptedProtocol([]) for _ in range(3)]
+        wrapped = with_faults(protocols, {1: [CrashFault(0)]})
+        assert wrapped[0] is protocols[0]
+        assert isinstance(wrapped[1], FaultyProtocol)
+        assert wrapped[2] is protocols[2]
+
+
+class TestFaultsInEngine:
+    def test_crashed_sender_goes_silent(self):
+        network = Network.static(ChannelAssignment(((0,), (0,)), overlap=1))
+        sender = ScriptedProtocol([Broadcast(0, "m")] * 5)
+        listener = ScriptedProtocol([Listen(0)] * 5)
+        wrapped = with_faults([sender, listener], {0: [CrashFault(crash_slot=2)]})
+        engine = Engine(network, wrapped)
+        for _ in range(5):
+            engine.step()
+        received = [o.received for o in listener.outcomes]
+        assert received[0] is not None and received[1] is not None
+        assert all(r is None for r in received[2:])
+
+    def test_cogcast_survives_source_outage(self):
+        """The source sleeping mid-broadcast only delays completion."""
+        import random
+
+        from repro.assignment import shared_core
+        from repro.core import CogCast
+        from repro.sim import make_views
+
+        rng = random.Random(0)
+        network = Network.static(
+            shared_core(10, 4, 2, rng).shuffled_labels(rng), validate=False
+        )
+        views = make_views(network, seed=1)
+        protocols = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+        wrapped = with_faults(protocols, {0: [OutageFault(((1, 15),))]})
+        engine = Engine(network, wrapped, seed=1)
+        result = engine.run(
+            50_000, stop_when=lambda _: all(p.informed for p in protocols)
+        )
+        assert result.completed

@@ -1,0 +1,77 @@
+"""Unit tests for repro.analysis.fitting — scaling-law fits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fitting import fit_linear, fit_proportional, ratio_stability
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        fit = fit_linear([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_high_r2(self):
+        xs = list(range(20))
+        ys = [2 * x + 1 + ((-1) ** x) * 0.2 for x in xs]
+        fit = fit_linear(xs, ys)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [0, 2])
+        assert fit.predict(3) == pytest.approx(6.0)
+
+    def test_constant_y(self):
+        fit = fit_linear([0, 1, 2], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_zero_variance_x(self):
+        with pytest.raises(ValueError):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+
+class TestFitProportional:
+    def test_exact(self):
+        fit = fit_proportional([1, 2, 3], [3, 6, 9])
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == 0.0
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_intercept_data_penalized(self):
+        """Data with a real intercept fits worse through the origin."""
+        xs = [1, 2, 3, 4]
+        ys = [11, 12, 13, 14]  # y = x + 10
+        through_origin = fit_proportional(xs, ys)
+        with_intercept = fit_linear(xs, ys)
+        assert with_intercept.r_squared > through_origin.r_squared
+
+    def test_all_zero_x(self):
+        with pytest.raises(ValueError):
+            fit_proportional([0, 0], [1, 2])
+
+
+class TestRatioStability:
+    def test_perfectly_proportional(self):
+        assert ratio_stability([1, 2, 4], [3, 6, 12]) == pytest.approx(0.0)
+
+    def test_wobbly_ratio_positive(self):
+        assert ratio_stability([1, 2, 4], [3, 10, 9]) > 0.3
+
+    def test_single_point(self):
+        assert ratio_stability([2], [4]) == 0.0
+
+    def test_no_positive_x(self):
+        with pytest.raises(ValueError):
+            ratio_stability([0], [1])

@@ -1,0 +1,196 @@
+"""Unit tests for repro.games — hitting games, players, the reduction."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.core import CogCast
+from repro.games import (
+    BroadcastReductionPlayer,
+    DiagonalPlayer,
+    ExhaustivePlayer,
+    UniformRandomPlayer,
+    bipartite_hitting_game,
+    complete_hitting_game,
+    play,
+    sample_matching,
+)
+from repro.types import GameError
+
+
+class TestSampleMatching:
+    def test_size(self):
+        matching = sample_matching(8, 3, random.Random(0))
+        assert len(matching) == 3
+
+    def test_is_a_matching(self):
+        matching = sample_matching(10, 10, random.Random(1))
+        a_sides = [a for a, _ in matching]
+        b_sides = [b for _, b in matching]
+        assert len(set(a_sides)) == 10
+        assert len(set(b_sides)) == 10
+
+    def test_vertices_in_range(self):
+        for a, b in sample_matching(6, 4, random.Random(2)):
+            assert 0 <= a < 6 and 0 <= b < 6
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            sample_matching(4, 5, random.Random(0))
+        with pytest.raises(ValueError):
+            sample_matching(4, 0, random.Random(0))
+
+    def test_roughly_uniform_first_edge(self):
+        """With k = 1 each of the c^2 edges should appear ~uniformly."""
+        counts: dict = {}
+        for seed in range(4000):
+            (edge,) = sample_matching(3, 1, random.Random(seed))
+            counts[edge] = counts.get(edge, 0) + 1
+        assert len(counts) == 9
+        assert min(counts.values()) > 4000 / 9 * 0.6
+
+
+class TestHittingGame:
+    def test_win_detection(self):
+        game = bipartite_hitting_game(4, 2, random.Random(0))
+        target = next(iter(game.matching))
+        assert game.propose(target)
+        assert game.won
+        assert game.rounds == 1
+
+    def test_loss_advances_round(self):
+        game = bipartite_hitting_game(4, 1, random.Random(0))
+        miss = next(
+            (a, b)
+            for a in range(4)
+            for b in range(4)
+            if (a, b) not in game.matching
+        )
+        assert not game.propose(miss)
+        assert game.rounds == 1
+        assert not game.won
+
+    def test_propose_after_win_raises(self):
+        game = bipartite_hitting_game(4, 4, random.Random(1))
+        target = next(iter(game.matching))
+        game.propose(target)
+        with pytest.raises(GameError):
+            game.propose(target)
+
+    def test_out_of_range_edge_raises(self):
+        game = bipartite_hitting_game(4, 1, random.Random(0))
+        with pytest.raises(GameError):
+            game.propose((4, 0))
+
+    def test_complete_game_is_perfect_matching(self):
+        game = complete_hitting_game(6, random.Random(0))
+        assert game.k == 6
+
+
+class TestPlayers:
+    def test_uniform_wins_eventually(self):
+        game = bipartite_hitting_game(6, 2, random.Random(0))
+        rounds = play(game, UniformRandomPlayer(6, random.Random(1)), max_rounds=100_000)
+        assert rounds is not None
+
+    def test_exhaustive_wins_within_c_squared(self):
+        for seed in range(20):
+            game = bipartite_hitting_game(6, 1, random.Random(seed))
+            rounds = play(
+                game, ExhaustivePlayer(6, random.Random(seed + 100)), max_rounds=36
+            )
+            assert rounds is not None and rounds <= 36
+
+    def test_exhaustive_raises_beyond_budget(self):
+        player = ExhaustivePlayer(2, random.Random(0))
+        for _ in range(4):
+            player.next_proposal()
+        with pytest.raises(GameError):
+            player.next_proposal()
+
+    def test_diagonal_covers_all_edges(self):
+        player = DiagonalPlayer(3)
+        proposals = {player.next_proposal() for _ in range(9)}
+        assert len(proposals) == 9
+        with pytest.raises(GameError):
+            player.next_proposal()
+
+    def test_play_respects_budget(self):
+        game = bipartite_hitting_game(8, 1, random.Random(5))
+        result = play(game, DiagonalPlayer(8), max_rounds=1)
+        # Either won on round 1 or None.
+        assert result in (1, None)
+
+    def test_complete_game_median_respects_lemma14(self):
+        """Lemma 14: median win round >= c/3 — the library's own check."""
+        c = 18
+        rounds = []
+        for seed in range(200):
+            game = complete_hitting_game(c, random.Random(seed))
+            rounds.append(
+                play(game, UniformRandomPlayer(c, random.Random(seed + 1)), max_rounds=10_000)
+            )
+        assert statistics.median(rounds) >= c / 3
+
+
+class TestReduction:
+    @staticmethod
+    def cogcast_factory(view):
+        return CogCast(view, is_source=(view.node_id == 0))
+
+    def test_wins_and_respects_cap(self):
+        game = bipartite_hitting_game(8, 2, random.Random(0))
+        player = BroadcastReductionPlayer(
+            game, self.cogcast_factory, n=10, k=2, seed=0
+        )
+        outcome = player.run(max_slots=10_000)
+        assert outcome.won
+        assert outcome.game_rounds <= outcome.proposals_per_slot_bound * outcome.simulated_slots
+        assert outcome.proposals_per_slot_bound == min(8, 10)
+
+    def test_unique_proposals_only(self):
+        """Lemma 12: the player never repeats a proposal."""
+        game = bipartite_hitting_game(6, 1, random.Random(1))
+        player = BroadcastReductionPlayer(
+            game, self.cogcast_factory, n=20, k=1, seed=1
+        )
+        outcome = player.run(max_slots=10_000)
+        assert outcome.won
+        assert outcome.game_rounds <= 36  # can't exceed the edge count
+
+    def test_mismatched_k_rejected(self):
+        game = bipartite_hitting_game(6, 2, random.Random(0))
+        with pytest.raises(ValueError):
+            BroadcastReductionPlayer(game, self.cogcast_factory, n=5, k=3, seed=0)
+
+    def test_budget_exhaustion(self):
+        game = bipartite_hitting_game(8, 1, random.Random(2))
+
+        def idle_factory(view):
+            from repro.sim import IdleProtocol
+
+            return IdleProtocol(view)
+
+        player = BroadcastReductionPlayer(game, idle_factory, n=4, k=1, seed=2)
+        outcome = player.run(max_slots=50)
+        assert not outcome.won
+        assert outcome.game_rounds == 0  # idle nodes never guess
+        assert outcome.simulated_slots == 50
+
+    def test_median_game_rounds_respect_lemma11(self):
+        """The induced player cannot beat the Lemma 11 bound either."""
+        c, k = 12, 2
+        bound = c * c / (8 * k)
+        rounds = []
+        for seed in range(40):
+            game = bipartite_hitting_game(c, k, random.Random(seed))
+            player = BroadcastReductionPlayer(
+                game, self.cogcast_factory, n=12, k=k, seed=seed
+            )
+            outcome = player.run(max_slots=100_000)
+            assert outcome.won
+            rounds.append(outcome.game_rounds)
+        assert statistics.median(rounds) >= bound

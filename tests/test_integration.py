@@ -1,0 +1,176 @@
+"""Integration tests: whole-paper behaviours crossing module boundaries."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.analysis import (
+    cogcast_slot_bound,
+    wilson_interval,
+)
+from repro.assignment import (
+    dynamic_shared_core_schedule,
+    identical,
+    shared_core,
+    two_set_worst_case,
+)
+from repro.baselines import run_rendezvous_aggregation, run_rendezvous_broadcast
+from repro.core import (
+    CollectAggregator,
+    SumAggregator,
+    run_data_aggregation,
+    run_local_broadcast,
+)
+from repro.sim import (
+    AllDeliveredCollision,
+    Network,
+    RandomJammer,
+)
+
+
+class TestTheorem4WhpBudget:
+    def test_default_constant_is_whp(self):
+        """With the default constant, the Theorem 4 budget should succeed
+        essentially always (we assert a >=90% Wilson lower bound)."""
+        n, c, k = 32, 8, 2
+        budget = cogcast_slot_bound(n, c, k)
+        successes = 0
+        trials = 40
+        for seed in range(trials):
+            rng = random.Random(seed)
+            network = Network.static(
+                shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+            )
+            result = run_local_broadcast(network, seed=seed, max_slots=budget)
+            successes += result.completed
+        low, _ = wilson_interval(successes, trials)
+        assert low > 0.9, f"{successes}/{trials} within Theorem 4 budget"
+
+    def test_worst_case_instance_still_within_budget(self):
+        """The Lemma 12 adversarial instance is covered by Theorem 4 too."""
+        n, c, k = 16, 8, 2
+        budget = cogcast_slot_bound(n, c, k)
+        successes = 0
+        trials = 30
+        for seed in range(trials):
+            rng = random.Random(seed)
+            network = Network.static(
+                two_set_worst_case(n, c, k, rng).shuffled_labels(rng),
+                validate=False,
+            )
+            result = run_local_broadcast(network, seed=seed, max_slots=budget)
+            successes += result.completed
+        low, _ = wilson_interval(successes, trials)
+        assert low > 0.85
+
+
+class TestBroadcastVsBaseline:
+    def test_cogcast_wins_at_scale(self):
+        """The Section 1 separation on one mid-size configuration."""
+        n, c, k = 48, 16, 2
+        rng = random.Random(0)
+        network = Network.static(
+            shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+        )
+        cogcast = statistics.mean(
+            run_local_broadcast(network, seed=s, max_slots=10**6).slots
+            for s in range(5)
+        )
+        baseline = statistics.mean(
+            run_rendezvous_broadcast(network, seed=s, max_slots=10**7).slots
+            for s in range(5)
+        )
+        # Theory predicts a factor ~c = 16; assert at least 4x.
+        assert baseline > 4 * cogcast
+
+
+class TestAggregationPipeline:
+    def test_aggregation_on_every_generator(self):
+        """COGCOMP end-to-end across structurally different assignments."""
+        cases = []
+        rng = random.Random(1)
+        cases.append(shared_core(20, 8, 2, rng))
+        cases.append(identical(20, 4))
+        cases.append(two_set_worst_case(20, 8, 3, rng))
+        for index, assignment in enumerate(cases):
+            network = Network.static(
+                assignment.shuffled_labels(random.Random(index)), validate=False
+            )
+            values = [node * 1.5 for node in range(20)]
+            result = run_data_aggregation(
+                network, values, seed=index, aggregator=SumAggregator()
+            )
+            assert result.completed, f"case {index} failed"
+            assert result.value == pytest.approx(sum(values))
+
+    def test_cogcomp_beats_baseline_at_scale(self):
+        n, c, k = 64, 16, 2
+        rng = random.Random(2)
+        network = Network.static(
+            shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+        )
+        values = [float(node) for node in range(n)]
+        cogcomp = run_data_aggregation(
+            network, values, seed=0, aggregator=SumAggregator()
+        )
+        assert cogcomp.completed
+        baseline = run_rendezvous_aggregation(
+            network, values, seed=0, max_slots=10**7
+        )
+        assert baseline.completed
+        assert baseline.slots > cogcomp.total_slots
+
+
+class TestModelVariants:
+    def test_stronger_collision_model_still_works(self):
+        """Footnote 3's all-delivered model only helps COGCAST/COGCOMP."""
+        rng = random.Random(3)
+        network = Network.static(
+            shared_core(16, 6, 2, rng).shuffled_labels(rng), validate=False
+        )
+        broadcast = run_local_broadcast(
+            network, seed=3, max_slots=100_000, collision=AllDeliveredCollision()
+        )
+        assert broadcast.completed
+        result = run_data_aggregation(
+            network,
+            list(range(16)),
+            seed=3,
+            aggregator=CollectAggregator(),
+            collision=AllDeliveredCollision(),
+        )
+        assert result.completed
+        assert result.value == {node: node for node in range(16)}
+
+    def test_dynamic_schedule_broadcast(self):
+        schedule = dynamic_shared_core_schedule(24, 6, 2, seed=4)
+        network = Network(schedule)
+        result = run_local_broadcast(network, seed=4, max_slots=100_000)
+        assert result.completed
+
+    def test_jammed_broadcast_completes_below_threshold(self):
+        """Theorem 18's regime: jam budget < c/2 never prevents completion."""
+        n, c, budget = 16, 8, 3
+        network = Network.static(identical(n, c), validate=False)
+        universe = sorted(network.assignment_at(0).universe)
+        for seed in range(5):
+            jammer = RandomJammer(universe, budget, random.Random(seed))
+            result = run_local_broadcast(
+                network, seed=seed, max_slots=200_000, jammer=jammer
+            )
+            assert result.completed
+
+    def test_full_jamming_prevents_broadcast(self):
+        """Budget = c blankets the band: nothing can ever be delivered."""
+        n, c = 8, 4
+        network = Network.static(identical(n, c), validate=False)
+        universe = sorted(network.assignment_at(0).universe)
+        jammer = RandomJammer(universe, c, random.Random(0))
+        result = run_local_broadcast(
+            network, seed=0, max_slots=2_000, jammer=jammer
+        )
+        assert not result.completed
+        assert result.informed_count == 1

@@ -1,0 +1,83 @@
+"""Property-based tests for the analysis helpers (stats + fitting)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import fit_linear, fit_proportional
+from repro.analysis.stats import (
+    percentile,
+    summarize,
+    wilson_interval,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestStatsProperties:
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_summary_ordering(self, samples):
+        summary = summarize(samples)
+        assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+        # fmean can land an ulp outside [min, max]; allow that rounding.
+        slack = 1e-9 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.count == len(samples)
+
+    @given(
+        samples=st.lists(finite_floats, min_size=2, max_size=50),
+        q1=st.floats(0, 1),
+        q2=st.floats(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_monotone_in_q(self, samples, q1, q2):
+        ordered = sorted(samples)
+        low, high = sorted([q1, q2])
+        assert percentile(ordered, low) <= percentile(ordered, high)
+
+    @given(
+        trials=st.integers(1, 500),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wilson_contains_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(0, trials))
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+        # The interval need not contain p-hat exactly at the extremes,
+        # but for interior p it must.
+        p = successes / trials
+        if 0 < successes < trials:
+            assert low <= p <= high
+
+
+class TestFittingProperties:
+    @given(
+        slope=st.floats(-100, 100, allow_nan=False),
+        intercept=st.floats(-100, 100, allow_nan=False),
+        # Integer abscissae keep the normal equations well conditioned;
+        # near-coincident floats would test rounding, not the fitter.
+        xs=st.lists(st.integers(-1000, 1000), min_size=2, max_size=20, unique=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linear_fit_recovers_exact_lines(self, slope, intercept, xs):
+        xs = [float(x) for x in xs]
+        ys = [slope * x + intercept for x in xs]
+        fit = fit_linear(xs, ys)
+        assert abs(fit.slope - slope) < 1e-6 + 1e-6 * abs(slope)
+        assert abs(fit.intercept - intercept) < 1e-4 + 1e-4 * abs(intercept)
+
+    @given(
+        slope=st.floats(0.01, 100, allow_nan=False),
+        xs=st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_fit_recovers_exact(self, slope, xs):
+        ys = [slope * x for x in xs]
+        fit = fit_proportional(xs, ys)
+        assert abs(fit.slope - slope) < 1e-6 * max(1.0, slope)
+        assert fit.intercept == 0.0

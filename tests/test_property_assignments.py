@@ -1,0 +1,111 @@
+"""Property-based tests for channel assignments (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import (
+    identical,
+    pairwise_blocks,
+    random_with_core,
+    shared_core,
+    two_set_worst_case,
+)
+
+
+@st.composite
+def nck(draw, max_n=12, max_c=12):
+    """A valid (n, c, k) triple."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    c = draw(st.integers(min_value=1, max_value=max_c))
+    k = draw(st.integers(min_value=1, max_value=c))
+    return n, c, k
+
+
+@st.composite
+def nck_pairwise(draw):
+    """(n, c, k) feasible for pairwise_blocks: c >= k(n-1)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=3))
+    c = draw(st.integers(min_value=k * (n - 1), max_value=k * (n - 1) + 5))
+    return n, c, k
+
+
+class TestGeneratorInvariants:
+    @given(params=nck(), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_shared_core_always_valid(self, params, seed):
+        n, c, k = params
+        assignment = shared_core(n, c, k, random.Random(seed))
+        assignment.validate()
+        assert assignment.min_pairwise_overlap() == k or k == c
+
+    @given(params=nck(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_random_with_core_always_valid(self, params, seed):
+        n, c, k = params
+        assignment = random_with_core(n, c, k, random.Random(seed))
+        assignment.validate()
+        assert assignment.min_pairwise_overlap() >= k
+
+    @given(params=nck_pairwise(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_pairwise_blocks_always_valid(self, params, seed):
+        n, c, k = params
+        assignment = pairwise_blocks(n, c, k, random.Random(seed))
+        assignment.validate()
+        assert assignment.min_pairwise_overlap() == k
+
+    @given(params=nck(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_two_set_worst_case_source_overlap_exact(self, params, seed):
+        n, c, k = params
+        assignment = two_set_worst_case(n, c, k, random.Random(seed))
+        assignment.validate()
+        for other in range(1, n):
+            assert assignment.pairwise_overlap(0, other) == k
+
+    @given(
+        n=st.integers(2, 10),
+        c=st.integers(1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_identical_overlap_is_c(self, n, c):
+        assignment = identical(n, c)
+        assignment.validate()
+        assert assignment.min_pairwise_overlap() == c
+
+
+class TestLabelTransforms:
+    @given(params=nck(), seed=st.integers(0, 2**16), shuffle_seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_preserves_structure(self, params, seed, shuffle_seed):
+        n, c, k = params
+        assignment = shared_core(n, c, k, random.Random(seed))
+        shuffled = assignment.shuffled_labels(random.Random(shuffle_seed))
+        shuffled.validate()
+        for node in range(n):
+            assert shuffled.channel_set(node) == assignment.channel_set(node)
+
+    @given(params=nck(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_global_labels_idempotent(self, params, seed):
+        n, c, k = params
+        assignment = shared_core(n, c, k, random.Random(seed))
+        once = assignment.with_global_labels()
+        assert once.with_global_labels() == once
+
+    @given(params=nck(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_label_roundtrip(self, params, seed):
+        n, c, k = params
+        assignment = shared_core(n, c, k, random.Random(seed)).shuffled_labels(
+            random.Random(seed + 1)
+        )
+        for node in range(n):
+            for label in range(c):
+                channel = assignment.physical(node, label)
+                assert assignment.label_of(node, channel) == label

@@ -1,0 +1,80 @@
+"""Property tests for the baseline algorithms' hard guarantees."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    repeated_rendezvous_gaps,
+    stay_and_scan_pairwise,
+)
+
+
+@st.composite
+def ck(draw):
+    c = draw(st.integers(1, 20))
+    k = draw(st.integers(1, c))
+    seed = draw(st.integers(0, 2**14))
+    return c, k, seed
+
+
+class TestStayAndScanGuarantee:
+    @given(params=ck())
+    @settings(max_examples=80, deadline=None)
+    def test_never_exceeds_c_squared(self, params):
+        """The deterministic guarantee holds on EVERY instance."""
+        c, k, seed = params
+        slots = stay_and_scan_pairwise(c, k, random.Random(seed))
+        assert 1 <= slots <= c * c
+
+
+class TestSeededRendezvousInvariant:
+    @given(params=ck())
+    @settings(max_examples=40, deadline=None)
+    def test_post_swap_gaps_always_one(self, params):
+        """After the seed exchange, every meeting is one slot later."""
+        c, k, seed = params
+        gaps = repeated_rendezvous_gaps(
+            c, k, seed, meetings=4, max_slots=2_000_000
+        )
+        assert len(gaps) == 4
+        assert all(gap == 1 for gap in gaps[1:])
+        assert gaps[0] >= 1
+
+    @given(params=ck())
+    @settings(max_examples=25, deadline=None)
+    def test_memoryless_gaps_independent_positive(self, params):
+        c, k, seed = params
+        gaps = repeated_rendezvous_gaps(
+            c, k, seed, meetings=3, exchange_seeds=False, max_slots=2_000_000
+        )
+        assert all(gap >= 1 for gap in gaps)
+
+
+class TestHittingGameReferee:
+    @given(
+        c=st.integers(2, 12),
+        seed=st.integers(0, 2**14),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_and_uniform_agree_on_rules(self, c, seed):
+        """Both referees accept the same proposals and count rounds the
+        same way (the lazy one just answers harder)."""
+        from repro.games import LazyHittingGame, bipartite_hitting_game
+
+        k = max(1, c // 3)
+        uniform = bipartite_hitting_game(c, k, random.Random(seed))
+        lazy = LazyHittingGame(c, k)
+        assert uniform.k == lazy.k == k
+        rng = random.Random(seed + 1)
+        for _ in range(5):
+            edge = (rng.randrange(c), rng.randrange(c))
+            if not uniform.won:
+                uniform.propose(edge)
+            if not lazy.won:
+                lazy.propose(edge)
+        assert uniform.rounds >= 1
+        assert lazy.rounds >= 1

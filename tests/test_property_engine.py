@@ -1,0 +1,157 @@
+"""Property-based tests for the engine's physical invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import shared_core
+from repro.sim import (
+    Broadcast,
+    Engine,
+    EventTrace,
+    Idle,
+    Listen,
+    Network,
+    Protocol,
+    SlotOutcome,
+)
+
+
+class RandomActor(Protocol):
+    """Takes uniformly random actions; records everything observed."""
+
+    def __init__(self, view):
+        self.view = view
+        self.outcomes: list[SlotOutcome] = []
+
+    def begin_slot(self, slot):
+        roll = self.view.rng.random()
+        label = self.view.random_label()
+        if roll < 0.45:
+            return Broadcast(label, ("msg", self.view.node_id, slot))
+        if roll < 0.9:
+            return Listen(label)
+        return Idle()
+
+    def end_slot(self, slot, outcome):
+        self.outcomes.append(outcome)
+
+
+@st.composite
+def small_world(draw):
+    n = draw(st.integers(2, 8))
+    c = draw(st.integers(1, 6))
+    k = draw(st.integers(1, c))
+    seed = draw(st.integers(0, 2**16))
+    return n, c, k, seed
+
+
+@given(world=small_world())
+@settings(max_examples=50, deadline=None)
+def test_engine_physical_invariants(world):
+    """Run random actors and check every conservation law at once:
+
+    - every live protocol gets exactly one outcome per slot;
+    - a received envelope's sender actually broadcast that payload on
+      the listener's physical channel in that slot;
+    - exactly one broadcaster per contended channel reports success;
+    - successful broadcasters receive nothing, failed ones receive the
+      winner;
+    - trace events agree with protocol-side observations.
+    """
+    n, c, k, seed = world
+    rng = random.Random(seed)
+    assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+    network = Network.static(assignment, validate=False)
+    trace = EventTrace()
+    from repro.sim import make_views
+
+    views = make_views(network, seed)
+    actors = [RandomActor(view) for view in views]
+    engine = Engine(network, actors, seed=seed, trace=trace)
+    slots = 15
+    for _ in range(slots):
+        engine.step()
+
+    for actor in actors:
+        assert len(actor.outcomes) == slots
+
+    for slot in range(slots):
+        outcomes = {node: actors[node].outcomes[slot] for node in range(n)}
+        # Group ground truth by physical channel.
+        by_channel_broadcasters: dict[int, list[int]] = {}
+        by_channel_payloads: dict[int, dict[int, object]] = {}
+        for node, outcome in outcomes.items():
+            action = outcome.action
+            if isinstance(action, Broadcast):
+                channel = assignment.physical(node, action.label)
+                by_channel_broadcasters.setdefault(channel, []).append(node)
+                by_channel_payloads.setdefault(channel, {})[node] = action.payload
+
+        for node, outcome in outcomes.items():
+            action = outcome.action
+            if isinstance(action, Idle):
+                assert outcome.received is None
+                assert outcome.success is None
+                continue
+            channel = assignment.physical(node, action.label)
+            contenders = by_channel_broadcasters.get(channel, [])
+            if isinstance(action, Listen):
+                assert outcome.success is None
+                if outcome.received is not None:
+                    sender = outcome.received.sender
+                    assert sender in contenders
+                    assert outcome.received.payload == by_channel_payloads[channel][sender]
+                else:
+                    assert not contenders
+            else:  # Broadcast
+                assert outcome.success in (True, False)
+                if outcome.success:
+                    assert outcome.received is None
+                else:
+                    assert len(contenders) > 1
+                    assert outcome.received is not None
+                    assert outcome.received.sender in contenders
+                    assert outcome.received.sender != node
+
+        # Exactly one success per contended channel.
+        for channel, contenders in by_channel_broadcasters.items():
+            successes = [
+                node for node in contenders if outcomes[node].success
+            ]
+            assert len(successes) == 1
+
+    # Trace agreement: every traced winner matches a successful broadcaster.
+    for event in trace:
+        if event.winner is None:
+            continue
+        outcome = actors[event.winner.sender].outcomes[event.slot]
+        assert outcome.success is True
+
+
+@given(world=small_world())
+@settings(max_examples=25, deadline=None)
+def test_engine_determinism(world):
+    """Identical seeds produce identical executions."""
+    n, c, k, seed = world
+
+    def run() -> list:
+        rng = random.Random(seed)
+        assignment = shared_core(n, c, k, rng).shuffled_labels(rng)
+        network = Network.static(assignment, validate=False)
+        from repro.sim import make_views
+
+        actors = [RandomActor(view) for view in make_views(network, seed)]
+        engine = Engine(network, actors, seed=seed)
+        for _ in range(10):
+            engine.step()
+        return [
+            (outcome.received.payload if outcome.received else None, outcome.success)
+            for actor in actors
+            for outcome in actor.outcomes
+        ]
+
+    assert run() == run()

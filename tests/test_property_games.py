@@ -1,0 +1,82 @@
+"""Property-based tests for the hitting games and the reduction."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CogCast
+from repro.games import (
+    BroadcastReductionPlayer,
+    ExhaustivePlayer,
+    bipartite_hitting_game,
+    complete_hitting_game,
+    play,
+    sample_matching,
+)
+
+
+@st.composite
+def game_params(draw):
+    c = draw(st.integers(2, 16))
+    k = draw(st.integers(1, c))
+    seed = draw(st.integers(0, 2**16))
+    return c, k, seed
+
+
+class TestMatchingProperties:
+    @given(params=game_params())
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_valid_matching(self, params):
+        c, k, seed = params
+        matching = sample_matching(c, k, random.Random(seed))
+        assert len(matching) == k
+        assert len({a for a, _ in matching}) == k
+        assert len({b for _, b in matching}) == k
+        assert all(0 <= a < c and 0 <= b < c for a, b in matching)
+
+
+class TestGameProperties:
+    @given(params=game_params())
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustive_always_wins_within_c_squared(self, params):
+        c, k, seed = params
+        game = bipartite_hitting_game(c, k, random.Random(seed))
+        rounds = play(game, ExhaustivePlayer(c, random.Random(seed + 1)), max_rounds=c * c)
+        assert rounds is not None
+        assert 1 <= rounds <= c * c
+
+    @given(c=st.integers(2, 16), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_complete_game_rounds_counted_exactly(self, c, seed):
+        game = complete_hitting_game(c, random.Random(seed))
+        player = ExhaustivePlayer(c, random.Random(seed + 1))
+        rounds = play(game, player, max_rounds=c * c)
+        assert rounds == game.rounds
+
+
+class TestReductionProperties:
+    @given(
+        c=st.integers(2, 10),
+        k_fraction=st.floats(0.1, 1.0),
+        n=st.integers(2, 12),
+        seed=st.integers(0, 2**12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lemma12_cap_always_holds(self, c, k_fraction, n, seed):
+        """game_rounds <= min{c, n} * simulated_slots, for every outcome."""
+        k = max(1, int(c * k_fraction))
+        game = bipartite_hitting_game(c, k, random.Random(seed))
+        player = BroadcastReductionPlayer(
+            game,
+            lambda view: CogCast(view, is_source=(view.node_id == 0)),
+            n=n,
+            k=k,
+            seed=seed,
+        )
+        outcome = player.run(max_slots=5_000)
+        assert outcome.game_rounds <= outcome.proposals_per_slot_bound * outcome.simulated_slots
+        assert outcome.game_rounds <= c * c  # proposals never repeat
+        assert outcome.won  # COGCAST always makes progress eventually

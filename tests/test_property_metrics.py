@@ -1,0 +1,89 @@
+"""Property tests: trace metrics agree with protocol-side observations."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import shared_core
+from repro.sim import (
+    Broadcast,
+    Engine,
+    EventTrace,
+    Listen,
+    Network,
+    compute_metrics,
+    make_views,
+)
+from repro.sim.metrics import channel_utilization
+from tests.test_property_engine import RandomActor
+
+
+@st.composite
+def metric_worlds(draw):
+    n = draw(st.integers(2, 8))
+    c = draw(st.integers(1, 5))
+    k = draw(st.integers(1, c))
+    seed = draw(st.integers(0, 2**14))
+    slots = draw(st.integers(1, 20))
+    return n, c, k, seed, slots
+
+
+def run_world(n, c, k, seed, slots):
+    rng = random.Random(seed)
+    network = Network.static(
+        shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+    trace = EventTrace()
+    actors = [RandomActor(view) for view in make_views(network, seed)]
+    engine = Engine(network, actors, seed=seed, trace=trace)
+    for _ in range(slots):
+        engine.step()
+    return trace, actors
+
+
+class TestMetricsAgreement:
+    @given(world=metric_worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_match_outcomes(self, world):
+        n, c, k, seed, slots = world
+        trace, actors = run_world(n, c, k, seed, slots)
+        metrics = compute_metrics(trace)
+
+        # Protocol-side tallies.
+        broadcasts = successes = deliveries = silent_listens = 0
+        for actor in actors:
+            for outcome in actor.outcomes:
+                if isinstance(outcome.action, Broadcast):
+                    broadcasts += 1
+                    successes += bool(outcome.success)
+                elif isinstance(outcome.action, Listen):
+                    if outcome.received is not None:
+                        deliveries += 1
+                    else:
+                        silent_listens += 1
+
+        assert metrics.transmissions == broadcasts
+        assert metrics.successes == successes
+        assert metrics.deliveries == deliveries
+        assert metrics.wasted_listens == silent_listens
+
+    @given(world=metric_worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_channel_utilization_totals(self, world):
+        n, c, k, seed, slots = world
+        trace, _ = run_world(n, c, k, seed, slots)
+        metrics = compute_metrics(trace)
+        usage = channel_utilization(trace)
+        assert sum(usage.values()) == metrics.successes
+
+    @given(world=metric_worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_collisions_bounded_by_successes(self, world):
+        n, c, k, seed, slots = world
+        trace, _ = run_world(n, c, k, seed, slots)
+        metrics = compute_metrics(trace)
+        assert 0 <= metrics.collisions <= metrics.successes
+        assert metrics.peak_channel_contention <= n

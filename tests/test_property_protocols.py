@@ -1,0 +1,125 @@
+"""Property-based tests for COGCAST and COGCOMP end-to-end invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment import identical, shared_core
+from repro.core import (
+    CollectAggregator,
+    DistributionTree,
+    SumAggregator,
+    run_data_aggregation,
+    run_local_broadcast,
+)
+from repro.sim import EventTrace, Network
+
+
+@st.composite
+def broadcast_world(draw):
+    n = draw(st.integers(2, 16))
+    c = draw(st.integers(1, 8))
+    k = draw(st.integers(1, c))
+    seed = draw(st.integers(0, 2**16))
+    source = draw(st.integers(0, n - 1))
+    return n, c, k, seed, source
+
+
+def build_network(n, c, k, seed) -> Network:
+    rng = random.Random(seed)
+    return Network.static(
+        shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+    )
+
+
+class TestCogcastProperties:
+    @given(world=broadcast_world())
+    @settings(max_examples=40, deadline=None)
+    def test_broadcast_always_yields_spanning_tree(self, world):
+        """Whenever COGCAST completes, the parent pointers form a spanning
+        tree rooted at the source and informing order respects edges."""
+        n, c, k, seed, source = world
+        network = build_network(n, c, k, seed)
+        result = run_local_broadcast(
+            network, source=source, seed=seed, max_slots=200_000
+        )
+        assert result.completed, "budget far above the w.h.p. bound"
+        tree = DistributionTree.from_parents(source, result.parents)
+        assert tree.num_nodes == n
+        for node, parent in enumerate(result.parents):
+            if parent is None:
+                continue
+            assert result.informed_slots[node] > result.informed_slots[parent]
+
+    @given(world=broadcast_world())
+    @settings(max_examples=25, deadline=None)
+    def test_trace_tree_equals_protocol_tree(self, world):
+        n, c, k, seed, source = world
+        network = build_network(n, c, k, seed)
+        trace = EventTrace()
+        result = run_local_broadcast(
+            network, source=source, seed=seed, max_slots=200_000, trace=trace
+        )
+        assert result.completed
+        oracle = DistributionTree.from_trace(trace, root=source, num_nodes=n)
+        assert oracle.parents == tuple(result.parents)
+
+    @given(
+        n=st.integers(2, 12),
+        c=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_identical_channels_always_complete(self, n, c, seed):
+        network = Network.static(identical(n, c))
+        result = run_local_broadcast(network, source=0, seed=seed, max_slots=100_000)
+        assert result.completed
+
+
+class TestCogcompProperties:
+    @given(world=broadcast_world())
+    @settings(max_examples=25, deadline=None)
+    def test_aggregation_exact_or_reported_failure(self, world):
+        """COGCOMP must either report failure or produce the *exact*
+        collect mapping — silent corruption is never acceptable."""
+        n, c, k, seed, source = world
+        network = build_network(n, c, k, seed)
+        values = [f"value-{node}" for node in range(n)]
+        result = run_data_aggregation(
+            network, values, source=source, seed=seed,
+            aggregator=CollectAggregator(),
+        )
+        if result.completed:
+            assert result.value == {node: values[node] for node in range(n)}
+
+    @given(world=broadcast_world())
+    @settings(max_examples=25, deadline=None)
+    def test_sum_matches_when_complete(self, world):
+        n, c, k, seed, source = world
+        network = build_network(n, c, k, seed)
+        values = [float((node * 37) % 11) for node in range(n)]
+        result = run_data_aggregation(
+            network, values, source=source, seed=seed, aggregator=SumAggregator()
+        )
+        if result.completed:
+            assert result.value == sum(values)
+
+    @given(world=broadcast_world())
+    @settings(max_examples=20, deadline=None)
+    def test_phase4_linear_budget(self, world):
+        """Theorem 10: when aggregation completes, phase four used at
+        most O(n) steps (we allow a generous 6n + 64)."""
+        n, c, k, seed, source = world
+        network = build_network(n, c, k, seed)
+        result = run_data_aggregation(
+            network,
+            [0.0] * n,
+            source=source,
+            seed=seed,
+            aggregator=SumAggregator(),
+        )
+        if result.completed:
+            assert result.phase4_slots <= 3 * (6 * n + 64)

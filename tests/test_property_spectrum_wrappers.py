@@ -1,0 +1,113 @@
+"""Property tests for the spectrum model and the protocol wrappers."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.spectrum import SpectrumWorld, churning_schedule, random_world
+from repro.types import InvalidAssignmentError
+
+
+@st.composite
+def worlds(draw):
+    seed = draw(st.integers(0, 2**16))
+    num_primaries = draw(st.integers(0, 10))
+    num_channels = draw(st.integers(4, 24))
+    return random_world(
+        num_channels=num_channels,
+        num_primaries=num_primaries,
+        num_secondaries=draw(st.integers(2, 10)),
+        area=100.0,
+        primary_radius=draw(st.floats(5.0, 40.0)),
+        rng=random.Random(seed),
+        cluster_radius=draw(st.one_of(st.none(), st.floats(1.0, 30.0))),
+    )
+
+
+class TestSpectrumProperties:
+    @given(world=worlds())
+    @settings(max_examples=60, deadline=None)
+    def test_availability_is_exactly_uncovered(self, world: SpectrumWorld):
+        """Channel f is available at p iff no primary on f covers p."""
+        for index, node in enumerate(world.secondaries):
+            available = set(world.available_channels(index))
+            for channel in range(world.num_channels):
+                covered = any(
+                    primary.channel == channel and primary.covers(node.x, node.y)
+                    for primary in world.primaries
+                )
+                assert (channel in available) == (not covered)
+
+    @given(world=worlds())
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_soundness(self, world: SpectrumWorld):
+        """Whenever to_assignment succeeds, it satisfies the model and
+        every assigned channel really is available at its node."""
+        try:
+            assignment = world.to_assignment()
+        except InvalidAssignmentError:
+            return  # disconnected/covered worlds are legitimately rejected
+        assignment.validate()
+        for index in range(assignment.num_nodes):
+            held = set(assignment.channels[index])
+            assert held <= set(world.available_channels(index))
+
+    @given(world=worlds(), seed=st.integers(0, 2**10))
+    @settings(max_examples=15, deadline=None)
+    def test_churn_keeps_shape(self, world: SpectrumWorld, seed: int):
+        try:
+            base = world.to_assignment()
+        except InvalidAssignmentError:
+            return
+        schedule = churning_schedule(world, seed=seed)
+        for slot in range(4):
+            assignment = schedule.at(slot)
+            assert assignment.num_nodes == base.num_nodes
+            assert assignment.channels_per_node == base.channels_per_node
+            assert assignment.min_pairwise_overlap() >= 1
+
+
+class TestWrapperProperties:
+    @given(
+        budget=st.integers(0, 30),
+        inner_done_after=st.one_of(st.none(), st.integers(1, 30)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_uses_min_of_budget_and_inner(self, budget, inner_done_after):
+        from repro.sim.actions import Listen, SlotOutcome
+        from repro.sim.wrappers import BoundedProtocol
+        from tests.test_engine import ScriptedProtocol
+
+        inner = ScriptedProtocol([Listen(0)] * 100, done_after=inner_done_after)
+        bounded = BoundedProtocol(inner, budget)
+        slots = 0
+        while not bounded.done and slots < 100:
+            action = bounded.begin_slot(slots)
+            bounded.end_slot(slots, SlotOutcome(slot=slots, action=action))
+            slots += 1
+        expected = budget if inner_done_after is None else min(budget, inner_done_after)
+        assert slots == expected
+
+    @given(
+        activation=st.integers(0, 20),
+        total=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delayed_start_shifts_clock(self, activation, total):
+        from repro.sim.actions import Idle, Listen, SlotOutcome
+        from repro.sim.wrappers import DelayedStartProtocol
+        from tests.test_engine import ScriptedProtocol
+
+        assume(total > activation)
+        inner = ScriptedProtocol([Listen(0)] * 100)
+        delayed = DelayedStartProtocol(inner, activation)
+        for slot in range(total):
+            action = delayed.begin_slot(slot)
+            if slot < activation:
+                assert isinstance(action, Idle)
+            delayed.end_slot(slot, SlotOutcome(slot=slot, action=action))
+        assert len(inner.outcomes) == total - activation
+        assert [o.slot for o in inner.outcomes] == list(range(total - activation))

@@ -1,0 +1,75 @@
+"""Unit tests for repro.sim.rng — deterministic stream derivation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.rng import derive_rng, derive_seed, sample_distinct, spawn_rngs
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "node", 1) == derive_seed(0, "node", 1)
+
+    def test_scope_changes_seed(self):
+        assert derive_seed(0, "node", 1) != derive_seed(0, "node", 2)
+
+    def test_root_changes_seed(self):
+        assert derive_seed(0, "node", 1) != derive_seed(1, "node", 1)
+
+    def test_scope_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(12345, "x")
+        assert 0 <= seed < 2**64
+
+    def test_no_scope(self):
+        # A bare root seed is a valid scope path.
+        assert derive_seed(7) == derive_seed(7)
+
+    def test_distinct_across_many_scopes(self):
+        seeds = {derive_seed(0, "node", index) for index in range(1000)}
+        assert len(seeds) == 1000
+
+
+class TestDeriveRng:
+    def test_same_scope_same_stream(self):
+        a = derive_rng(3, "x")
+        b = derive_rng(3, "x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_scope_different_stream(self):
+        a = derive_rng(3, "x")
+        b = derive_rng(3, "y")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_returns_random_instance(self):
+        assert isinstance(derive_rng(0, "z"), random.Random)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, "node", 7)) == 7
+
+    def test_independent(self):
+        rngs = spawn_rngs(0, "node", 3)
+        draws = [rng.random() for rng in rngs]
+        assert len(set(draws)) == 3
+
+    def test_matches_derive(self):
+        spawned = spawn_rngs(5, "p", 2)
+        assert spawned[1].random() == derive_rng(5, "p", 1).random()
+
+
+class TestSampleDistinct:
+    def test_distinct(self):
+        rng = random.Random(1)
+        sample = sample_distinct(rng, range(100), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_subset_of_population(self):
+        rng = random.Random(2)
+        sample = sample_distinct(rng, range(20), 20)
+        assert sorted(sample) == list(range(20))

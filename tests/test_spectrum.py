@@ -1,0 +1,167 @@
+"""Tests for repro.spectrum — the spatial primary-user model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.spectrum import (
+    PrimaryUser,
+    SecondaryNode,
+    SpectrumWorld,
+    churning_schedule,
+    min_overlap_over,
+    random_world,
+)
+from repro.types import InvalidAssignmentError
+
+
+def small_world() -> SpectrumWorld:
+    """Hand-built: 6 channels, two primaries, three nodes."""
+    return SpectrumWorld(
+        num_channels=6,
+        primaries=(
+            PrimaryUser(x=0.0, y=0.0, radius=5.0, channel=0),
+            PrimaryUser(x=100.0, y=0.0, radius=5.0, channel=1),
+        ),
+        secondaries=(
+            SecondaryNode(x=1.0, y=0.0),    # inside primary 0 only
+            SecondaryNode(x=99.0, y=0.0),   # inside primary 1 only
+            SecondaryNode(x=50.0, y=50.0),  # clear of both
+        ),
+    )
+
+
+class TestPrimaryUser:
+    def test_coverage(self):
+        primary = PrimaryUser(x=0, y=0, radius=2, channel=3)
+        assert primary.covers(1, 1)
+        assert primary.covers(2, 0)
+        assert not primary.covers(2, 1)
+
+
+class TestAvailability:
+    def test_blocked_channels_removed(self):
+        world = small_world()
+        assert 0 not in world.available_channels(0)
+        assert 1 in world.available_channels(0)
+        assert 1 not in world.available_channels(1)
+        assert world.available_channels(2) == (0, 1, 2, 3, 4, 5)
+
+    def test_to_assignment_uniform_c(self):
+        assignment = small_world().to_assignment()
+        assert assignment.channels_per_node == 5  # min over nodes
+        assignment.validate()
+
+    def test_measured_overlap_declared(self):
+        assignment = small_world().to_assignment()
+        assert assignment.overlap == assignment.min_pairwise_overlap()
+        assert assignment.overlap >= 1
+
+    def test_fully_covered_node_rejected(self):
+        world = SpectrumWorld(
+            num_channels=1,
+            primaries=(PrimaryUser(x=0, y=0, radius=10, channel=0),),
+            secondaries=(SecondaryNode(x=0, y=0), SecondaryNode(x=100, y=100)),
+        )
+        with pytest.raises(InvalidAssignmentError, match="no available"):
+            world.to_assignment()
+
+    def test_disjoint_pair_rejected(self):
+        world = SpectrumWorld(
+            num_channels=2,
+            primaries=(
+                PrimaryUser(x=0, y=0, radius=1, channel=0),
+                PrimaryUser(x=100, y=0, radius=1, channel=1),
+            ),
+            secondaries=(SecondaryNode(x=0, y=0), SecondaryNode(x=100, y=0)),
+        )
+        with pytest.raises(InvalidAssignmentError, match="k >= 1"):
+            world.to_assignment()
+
+
+class TestRandomWorld:
+    def test_shapes(self):
+        world = random_world(
+            num_channels=12,
+            num_primaries=5,
+            num_secondaries=8,
+            area=100.0,
+            primary_radius=20.0,
+            rng=random.Random(0),
+        )
+        assert len(world.primaries) == 5
+        assert len(world.secondaries) == 8
+
+    def test_clustered_secondaries_are_close(self):
+        world = random_world(
+            num_channels=12,
+            num_primaries=0,
+            num_secondaries=10,
+            area=1000.0,
+            primary_radius=10.0,
+            rng=random.Random(1),
+            cluster_radius=5.0,
+        )
+        xs = [node.x for node in world.secondaries]
+        ys = [node.y for node in world.secondaries]
+        assert max(xs) - min(xs) <= 10.0
+        assert max(ys) - min(ys) <= 10.0
+
+    def test_clustered_world_high_overlap(self):
+        """Physically co-located nodes see nearly identical spectrum."""
+        world = random_world(
+            num_channels=16,
+            num_primaries=6,
+            num_secondaries=6,
+            area=200.0,
+            primary_radius=30.0,
+            rng=random.Random(2),
+            cluster_radius=3.0,
+        )
+        assignment = world.to_assignment()
+        assert assignment.overlap >= assignment.channels_per_node - 2
+
+
+class TestChurningSchedule:
+    def base(self) -> SpectrumWorld:
+        return random_world(
+            num_channels=16,
+            num_primaries=8,
+            num_secondaries=6,
+            area=100.0,
+            primary_radius=25.0,
+            rng=random.Random(3),
+            cluster_radius=20.0,
+        )
+
+    def test_slot_zero_is_base(self):
+        base = self.base()
+        schedule = churning_schedule(base, seed=0)
+        assert schedule.at(0).channels == base.to_assignment().channels
+
+    def test_constant_c_across_slots(self):
+        schedule = churning_schedule(self.base(), seed=1)
+        c = schedule.at(0).channels_per_node
+        for slot in range(6):
+            assert schedule.at(slot).channels_per_node == c
+
+    def test_min_overlap_measured(self):
+        schedule = churning_schedule(self.base(), seed=2)
+        effective_k = min_overlap_over(schedule, 6)
+        assert effective_k >= 1
+
+    def test_cogcast_runs_on_churned_world(self):
+        from repro.core import run_local_broadcast
+        from repro.sim import Network
+
+        schedule = churning_schedule(self.base(), seed=4)
+        network = Network(schedule)
+        result = run_local_broadcast(network, seed=4, max_slots=100_000)
+        assert result.completed
+
+    def test_min_overlap_over_validation(self):
+        schedule = churning_schedule(self.base(), seed=5)
+        with pytest.raises(ValueError):
+            min_overlap_over(schedule, 0)

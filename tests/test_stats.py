@@ -1,0 +1,124 @@
+"""Unit tests for repro.analysis.stats — trial statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import (
+    geometric_mean,
+    mean_confidence_interval,
+    percentile,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_single_sample(self):
+        summary = summarize([7])
+        assert summary.stdev == 0.0
+        assert summary.p50 == 7.0
+        assert summary.p95 == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_unsorted_input(self):
+        assert summarize([5, 1, 3]).p50 == 3.0
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        assert percentile([1, 2, 3], 0.0) == 1.0
+        assert percentile([1, 2, 3], 1.0) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.5) == 5.0
+        assert percentile([0, 10, 20], 0.25) == 5.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4])
+        assert low <= mean <= high
+        assert mean == 2.5
+
+    def test_single_sample_degenerate(self):
+        mean, low, high = mean_confidence_interval([5])
+        assert mean == low == high == 5.0
+
+    def test_tighter_with_more_samples(self):
+        _, low4, high4 = mean_confidence_interval([1, 2, 3, 4])
+        _, low16, high16 = mean_confidence_interval([1, 2, 3, 4] * 4)
+        assert (high16 - low16) < (high4 - low4)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestSuccessRate:
+    def test_fraction(self):
+        assert success_rate([True, True, False, False]) == 0.5
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            success_rate([])
+
+
+class TestWilson:
+    def test_all_successes_below_one(self):
+        low, high = wilson_interval(50, 50)
+        assert low < 1.0
+        assert high == 1.0
+        assert low > 0.9
+
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert high < 0.1
+
+    def test_half(self):
+        low, high = wilson_interval(25, 50)
+        assert low < 0.5 < high
+
+    def test_bounds_clamped(self):
+        low, high = wilson_interval(1, 1)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

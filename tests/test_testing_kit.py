@@ -1,0 +1,101 @@
+"""Tests for repro.testing — the protocol conformance kit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CogCast, CogComp, SumAggregator
+from repro.baselines import RendezvousBroadcast, StayAndScanBroadcast
+from repro.sim import Broadcast, Idle, Listen, Protocol
+from repro.testing import (
+    ProtocolContractError,
+    check_protocol_contract,
+    run_protocol_matrix,
+)
+
+
+class TestBuiltinsConform:
+    def test_cogcast(self):
+        check_protocol_contract(
+            lambda view: CogCast(view, is_source=(view.node_id == 0))
+        )
+
+    def test_cogcomp(self):
+        check_protocol_contract(
+            lambda view: CogComp(
+                view,
+                phase1_slots=30,
+                value=1.0,
+                aggregator=SumAggregator(),
+                is_source=(view.node_id == 0),
+            ),
+            slots=200,
+        )
+
+    def test_rendezvous_baseline(self):
+        check_protocol_contract(
+            lambda view: RendezvousBroadcast(view, is_source=(view.node_id == 0))
+        )
+
+    def test_stay_and_scan(self):
+        check_protocol_contract(
+            lambda view: StayAndScanBroadcast(view, is_source=(view.node_id == 0))
+        )
+
+    def test_matrix_runs_all_shapes(self):
+        run_protocol_matrix(
+            lambda view: CogCast(view, is_source=(view.node_id == 0))
+        )
+
+
+class BadLabelProtocol(Protocol):
+    def __init__(self, view):
+        self.view = view
+
+    def begin_slot(self, slot):
+        return Listen(self.view.num_channels)  # one past the end
+
+    def end_slot(self, slot, outcome):
+        return None
+
+
+class WrongTypeProtocol(Protocol):
+    def __init__(self, view):
+        self.view = view
+
+    def begin_slot(self, slot):
+        return "not an action"
+
+    def end_slot(self, slot, outcome):
+        return None
+
+
+class FragileProtocol(Protocol):
+    """Breaks on jammed outcomes — the kind of bug the kit exists for."""
+
+    def __init__(self, view):
+        self.view = view
+
+    def begin_slot(self, slot):
+        return Listen(0)
+
+    def end_slot(self, slot, outcome):
+        if outcome.jammed:
+            raise RuntimeError("did not expect jamming")
+
+
+class TestViolationsCaught:
+    def test_bad_label(self):
+        with pytest.raises(ProtocolContractError, match="label"):
+            check_protocol_contract(BadLabelProtocol)
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolContractError, match="Action"):
+            check_protocol_contract(WrongTypeProtocol)
+
+    def test_fragile_protocol_surfaces_its_error(self):
+        with pytest.raises(RuntimeError, match="jamming"):
+            check_protocol_contract(FragileProtocol, slots=500)
+
+    def test_jamming_can_be_disabled(self):
+        check_protocol_contract(FragileProtocol, with_jamming=False, slots=50)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.analysis.theory — the closed-form bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    aggregation_lower_bound,
+    bipartite_hitting_lower_bound,
+    broadcast_lower_bound_global_labels,
+    broadcast_lower_bound_local_labels,
+    cogcast_slot_bound,
+    cogcomp_slot_bound,
+    complete_hitting_lower_bound,
+    decay_backoff_bound,
+    hopping_together_expected_slots,
+    lg,
+    rendezvous_aggregation_bound,
+    rendezvous_broadcast_bound,
+    rendezvous_expected_slots,
+)
+
+
+class TestLg:
+    def test_clamped_below_one(self):
+        assert lg(1) == 1.0
+        assert lg(1.5) == 1.0
+
+    def test_exact_powers(self):
+        assert lg(8) == 3.0
+        assert lg(1024) == 10.0
+
+
+class TestCogcastBound:
+    def test_c_le_n_form(self):
+        # constant * (c/k) * 1 * lg n
+        assert cogcast_slot_bound(64, 16, 4, constant=1.0) == math.ceil(4 * 6)
+
+    def test_c_ge_n_form(self):
+        # constant * (c/k) * (c/n) * lg n
+        assert cogcast_slot_bound(16, 64, 4, constant=1.0) == math.ceil(16 * 4 * 4)
+
+    def test_monotone_in_c(self):
+        assert cogcast_slot_bound(32, 16, 2) < cogcast_slot_bound(32, 32, 2)
+
+    def test_inverse_in_k(self):
+        assert cogcast_slot_bound(32, 16, 8) < cogcast_slot_bound(32, 16, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cogcast_slot_bound(8, 4, 0)
+        with pytest.raises(ValueError):
+            cogcast_slot_bound(8, 4, 5)
+        with pytest.raises(ValueError):
+            cogcast_slot_bound(0, 4, 2)
+
+    def test_at_least_one(self):
+        assert cogcast_slot_bound(2, 1, 1, constant=0.001) == 1
+
+
+class TestCogcompBound:
+    def test_additive_n(self):
+        base = cogcast_slot_bound(64, 16, 4)
+        assert cogcomp_slot_bound(64, 16, 4) == base + 64
+
+
+class TestRendezvousBounds:
+    def test_expected_slots(self):
+        assert rendezvous_expected_slots(8, 2) == 32.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rendezvous_expected_slots(4, 0)
+
+    def test_broadcast_bound_carries_lg_n(self):
+        small = rendezvous_broadcast_bound(4, 8, 2, constant=1.0)
+        large = rendezvous_broadcast_bound(4096, 8, 2, constant=1.0)
+        assert large == 6 * small
+
+    def test_aggregation_bound_linear_in_n(self):
+        a = rendezvous_aggregation_bound(10, 8, 2, constant=1.0)
+        b = rendezvous_aggregation_bound(20, 8, 2, constant=1.0)
+        assert b == 2 * a
+
+
+class TestGameBounds:
+    def test_alpha_at_beta_two(self):
+        # alpha = 2 * (2/1)^2 = 8.
+        assert bipartite_hitting_lower_bound(16, 2, beta=2.0) == 16 * 16 / (8 * 2)
+
+    def test_alpha_range(self):
+        """The lemma states 2 < alpha <= 8 for beta >= 2."""
+        for beta in (2.0, 3.0, 10.0, 100.0):
+            alpha = (16 * 16 / 1) / bipartite_hitting_lower_bound(16, 1, beta=beta)
+            assert 2.0 < alpha <= 8.0 + 1e-9
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            bipartite_hitting_lower_bound(8, 2, beta=1.0)
+
+    def test_complete_bound(self):
+        assert complete_hitting_lower_bound(9) == 3.0
+
+
+class TestBroadcastLowerBounds:
+    def test_local_labels_regimes(self):
+        assert broadcast_lower_bound_local_labels(100, 10, 2) == 5.0
+        assert broadcast_lower_bound_local_labels(10, 100, 2) == 50 * 10
+
+    def test_global_labels_exact(self):
+        assert broadcast_lower_bound_global_labels(15, 3) == 4.0
+
+    def test_upper_vs_lower_gap_is_lg_n(self):
+        """Theorem 15 vs Theorem 4: the gap is exactly the lg n factor."""
+        n, c, k = 256, 16, 4
+        upper = cogcast_slot_bound(n, c, k, constant=1.0)
+        lower = broadcast_lower_bound_local_labels(n, c, k)
+        assert upper == pytest.approx(lower * lg(n), abs=1)
+
+
+class TestMisc:
+    def test_aggregation_lower_bound(self):
+        assert aggregation_lower_bound(64, 4) == 16.0
+
+    def test_decay_bound_grows_polylog(self):
+        assert decay_backoff_bound(2) < decay_backoff_bound(256)
+        assert decay_backoff_bound(256, constant=1.0) == math.ceil(8**2)
+
+    def test_hopping_expected(self):
+        assert hopping_together_expected_slots(19, 15) == pytest.approx(19 / 15)

@@ -1,0 +1,85 @@
+"""Unit tests for repro.sim.trace — event traces."""
+
+from __future__ import annotations
+
+from repro.sim.actions import Envelope
+from repro.sim.trace import ChannelEvent, EventTrace
+
+
+def event(slot=0, channel=0, broadcasters=(0,), listeners=(1,), winner=Envelope(0, "m"), jammed=frozenset()):
+    return ChannelEvent(
+        slot=slot,
+        channel=channel,
+        broadcasters=tuple(broadcasters),
+        listeners=tuple(listeners),
+        winner=winner,
+        jammed_nodes=frozenset(jammed),
+    )
+
+
+class TestChannelEvent:
+    def test_delivered_when_listener_hears(self):
+        assert event().delivered
+
+    def test_not_delivered_without_winner(self):
+        assert not event(winner=None).delivered
+
+    def test_not_delivered_without_listeners(self):
+        assert not event(listeners=()).delivered
+
+    def test_not_delivered_when_all_listeners_jammed(self):
+        assert not event(listeners=(1,), jammed={1}).delivered
+
+    def test_delivered_when_some_listener_unjammed(self):
+        assert event(listeners=(1, 2), jammed={1}).delivered
+
+
+class TestEventTrace:
+    def test_record_and_len(self):
+        trace = EventTrace()
+        trace.record(event(slot=0))
+        trace.record(event(slot=1))
+        assert len(trace) == 2
+
+    def test_max_slots_truncation(self):
+        trace = EventTrace(max_slots=2)
+        for slot in range(5):
+            trace.record(event(slot=slot))
+        assert len(trace) == 2
+        assert trace.slots() == {0, 1}
+
+    def test_events_in_slot(self):
+        trace = EventTrace()
+        trace.record(event(slot=0, channel=0))
+        trace.record(event(slot=0, channel=1))
+        trace.record(event(slot=1, channel=0))
+        assert len(trace.events_in_slot(0)) == 2
+
+    def test_deliveries_filter(self):
+        trace = EventTrace()
+        trace.record(event(winner=None))
+        trace.record(event())
+        assert len(list(trace.deliveries())) == 1
+
+    def test_first_delivery_to(self):
+        trace = EventTrace()
+        trace.record(event(slot=0, listeners=(2,)))
+        trace.record(event(slot=1, listeners=(1,)))
+        trace.record(event(slot=2, listeners=(1,)))
+        found = trace.first_delivery_to(1)
+        assert found is not None and found.slot == 1
+
+    def test_first_delivery_to_skips_jammed(self):
+        trace = EventTrace()
+        trace.record(event(slot=0, listeners=(1,), jammed={1}))
+        trace.record(event(slot=1, listeners=(1,)))
+        found = trace.first_delivery_to(1)
+        assert found is not None and found.slot == 1
+
+    def test_first_delivery_to_none(self):
+        assert EventTrace().first_delivery_to(0) is None
+
+    def test_iteration(self):
+        trace = EventTrace()
+        trace.record(event(slot=3))
+        assert [e.slot for e in trace] == [3]

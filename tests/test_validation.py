@@ -1,0 +1,78 @@
+"""Unit tests for repro.assignment.validation — structural statistics."""
+
+from __future__ import annotations
+
+import random
+
+from repro.assignment import (
+    channel_load,
+    identical,
+    overlap_matrix,
+    shared_channels,
+    shared_core,
+    summarize,
+)
+from repro.sim.channels import ChannelAssignment
+
+
+def fixture_assignment() -> ChannelAssignment:
+    return ChannelAssignment(
+        channels=((0, 1, 2), (1, 2, 3), (2, 3, 4)), overlap=1
+    )
+
+
+class TestOverlapMatrix:
+    def test_symmetric(self):
+        matrix = overlap_matrix(fixture_assignment())
+        for u in range(3):
+            for v in range(3):
+                assert matrix[u][v] == matrix[v][u]
+
+    def test_diagonal_is_c(self):
+        matrix = overlap_matrix(fixture_assignment())
+        assert all(matrix[u][u] == 3 for u in range(3))
+
+    def test_values(self):
+        matrix = overlap_matrix(fixture_assignment())
+        assert matrix[0][1] == 2  # {1, 2}
+        assert matrix[0][2] == 1  # {2}
+        assert matrix[1][2] == 2  # {2, 3}
+
+
+class TestChannelLoad:
+    def test_counts(self):
+        load = channel_load(fixture_assignment())
+        assert load[2] == 3
+        assert load[0] == 1
+        assert load[1] == 2
+
+    def test_identical_assignment_full_load(self):
+        load = channel_load(identical(5, 2))
+        assert all(count == 5 for count in load.values())
+
+
+class TestSharedChannels:
+    def test_shared(self):
+        assert shared_channels(fixture_assignment(), 0, 2) == {2}
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        summary = summarize(fixture_assignment())
+        assert summary.num_nodes == 3
+        assert summary.channels_per_node == 3
+        assert summary.declared_overlap == 1
+        assert summary.universe_size == 5
+        assert summary.min_overlap == 1
+        assert summary.max_overlap == 2
+        assert abs(summary.mean_overlap - 5 / 3) < 1e-9
+        assert summary.max_channel_load == 3
+        assert summary.shared_by_all == 1  # channel 2
+
+    def test_shared_core_summary(self):
+        a = shared_core(6, 5, 2, random.Random(0))
+        summary = summarize(a)
+        assert summary.min_overlap == 2
+        assert summary.max_overlap == 2
+        assert summary.shared_by_all == 2
+        assert summary.max_channel_load == 6

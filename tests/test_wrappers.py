@@ -1,0 +1,111 @@
+"""Tests for repro.sim.wrappers — budgets and staggered activation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import cogcast_slot_bound
+from repro.assignment import shared_core
+from repro.core import CogCast
+from repro.sim import Engine, Listen, Network, make_views
+from repro.sim.wrappers import BoundedProtocol, DelayedStartProtocol
+from tests.test_engine import ScriptedProtocol
+
+
+class TestBoundedProtocol:
+    def test_terminates_at_budget(self):
+        inner = ScriptedProtocol([Listen(0)] * 100)
+        bounded = BoundedProtocol(inner, budget=3)
+        from repro.sim.actions import SlotOutcome
+
+        for slot in range(3):
+            assert not bounded.done
+            action = bounded.begin_slot(slot)
+            bounded.end_slot(slot, SlotOutcome(slot=slot, action=action))
+        assert bounded.done
+        assert len(inner.outcomes) == 3
+
+    def test_zero_budget_immediately_done(self):
+        bounded = BoundedProtocol(ScriptedProtocol([]), budget=0)
+        assert bounded.done
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedProtocol(ScriptedProtocol([]), budget=-1)
+
+    def test_inner_done_wins(self):
+        inner = ScriptedProtocol([Listen(0)] * 10, done_after=1)
+        bounded = BoundedProtocol(inner, budget=100)
+        from repro.sim.actions import SlotOutcome
+
+        action = bounded.begin_slot(0)
+        bounded.end_slot(0, SlotOutcome(slot=0, action=action))
+        assert bounded.done
+
+    def test_terminating_cogcast_whp(self):
+        """The deployment pattern: COGCAST bounded by the Theorem 4
+        budget terminates with everyone informed, w.h.p."""
+        n, c, k = 24, 8, 2
+        budget = cogcast_slot_bound(n, c, k)
+        successes = 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            network = Network.static(
+                shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+            )
+            views = make_views(network, seed)
+            inners = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+            bounded = [BoundedProtocol(p, budget) for p in inners]
+            engine = Engine(network, bounded, seed=seed)
+            result = engine.run(budget + 1)
+            assert result.all_done
+            successes += all(p.informed for p in inners)
+        assert successes >= 9
+
+
+class TestDelayedStart:
+    def test_idles_before_activation(self):
+        from repro.sim.actions import Idle, SlotOutcome
+
+        inner = ScriptedProtocol([Listen(0)] * 10)
+        delayed = DelayedStartProtocol(inner, activation_slot=2)
+        for slot in range(2):
+            action = delayed.begin_slot(slot)
+            assert isinstance(action, Idle)
+            delayed.end_slot(slot, SlotOutcome(slot=slot, action=action))
+        assert inner.outcomes == []
+
+    def test_inner_sees_local_clock(self):
+        from repro.sim.actions import SlotOutcome
+
+        inner = ScriptedProtocol([Listen(0)] * 10)
+        delayed = DelayedStartProtocol(inner, activation_slot=5)
+        action = delayed.begin_slot(5)
+        delayed.end_slot(5, SlotOutcome(slot=5, action=action))
+        assert inner.outcomes[0].slot == 0
+
+    def test_negative_activation_rejected(self):
+        with pytest.raises(ValueError):
+            DelayedStartProtocol(ScriptedProtocol([]), activation_slot=-1)
+
+    def test_cogcast_with_staggered_activation(self):
+        """Probing the simultaneous-activation assumption: COGCAST still
+        completes when half the nodes wake up late."""
+        n, c, k = 16, 6, 2
+        rng = random.Random(7)
+        network = Network.static(
+            shared_core(n, c, k, rng).shuffled_labels(rng), validate=False
+        )
+        views = make_views(network, seed=7)
+        inners = [CogCast(v, is_source=(v.node_id == 0)) for v in views]
+        protocols = [
+            DelayedStartProtocol(inner, activation_slot=(10 if node % 2 else 0))
+            for node, inner in enumerate(inners)
+        ]
+        engine = Engine(network, protocols, seed=7)
+        result = engine.run(
+            100_000, stop_when=lambda _: all(p.informed for p in inners)
+        )
+        assert result.completed
