@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report examples all
+.PHONY: install test lint bench experiments report examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -22,4 +25,4 @@ report:
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
 
-all: test bench
+all: lint test bench

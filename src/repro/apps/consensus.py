@@ -30,8 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from repro.core.aggregation import MajorityAggregator
-from repro.core.cogcast import run_local_broadcast
-from repro.core.cogcomp import run_data_aggregation
+from repro.core.runners import run_data_aggregation, run_local_broadcast
 from repro.sim.channels import Network
 from repro.sim.collision import CollisionModel
 from repro.types import NodeId

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.cogcast import run_local_broadcast
+from repro.core.runners import run_local_broadcast
 from repro.sim.channels import ChannelAssignment, Network
 from repro.sim.rng import derive_rng
 

@@ -6,24 +6,29 @@
   ``O(c^2 n / k)`` (Section 1).
 - :mod:`repro.baselines.hopping` — global-label lockstep scan that beats
   COGCAST when ``c >> n`` (Section 6 discussion).
+- :mod:`repro.baselines.runners` — the engine-driving measurement
+  harnesses, kept out of the protocol modules (lint rule R4).
 """
 
 from repro.baselines.aggregation import (
     BaselineAggregationResult,
     RendezvousCollector,
     RendezvousReporter,
-    run_rendezvous_aggregation,
 )
 from repro.baselines.deterministic import (
     StayAndScanBroadcast,
-    run_stay_and_scan_broadcast,
     stay_and_scan_pairwise,
 )
-from repro.baselines.hopping import HoppingTogether, run_hopping_together
+from repro.baselines.hopping import HoppingTogether
 from repro.baselines.rendezvous import (
     RendezvousBroadcast,
     pairwise_rendezvous_slots,
+)
+from repro.baselines.runners import (
+    run_hopping_together,
+    run_rendezvous_aggregation,
     run_rendezvous_broadcast,
+    run_stay_and_scan_broadcast,
 )
 from repro.baselines.seeded import (
     PairSetup,

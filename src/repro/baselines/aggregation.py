@@ -12,18 +12,19 @@ hops uniformly and broadcasts its ``(id, value)`` report every slot
 (it has no way to learn the source heard it, so it never stops).  The
 run completes when the source has collected all ``n - 1`` reports.
 Experiment E06 races this against COGCOMP.
+
+The measurement harness is
+:func:`repro.baselines.runners.run_rendezvous_aggregation`; protocol
+modules never import the engine (lint rule R4).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any
 
 from repro.core.messages import ValueReportPayload
 from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
 
@@ -68,36 +69,3 @@ class BaselineAggregationResult:
     slots: int
     completed: bool
     collected: dict[NodeId, Any]
-
-
-def run_rendezvous_aggregation(
-    network: Network,
-    values: Sequence[Any],
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    max_slots: int,
-    collision: CollisionModel | None = None,
-) -> BaselineAggregationResult:
-    """Run the baseline until the source holds every node's value."""
-    n = network.num_nodes
-    if len(values) != n:
-        raise ValueError(f"{len(values)} values for {n} nodes")
-
-    def factory(view: NodeView) -> Protocol:
-        if view.node_id == source:
-            return RendezvousCollector(view)
-        return RendezvousReporter(view, values[view.node_id])
-
-    engine = build_engine(network, factory, seed=seed, collision=collision)
-    collector: RendezvousCollector = engine.protocols[source]  # type: ignore[assignment]
-
-    def all_collected(_: Engine) -> bool:
-        return len(collector.collected) >= n - 1
-
-    result = engine.run(max_slots, stop_when=all_collected)
-    return BaselineAggregationResult(
-        slots=result.slots,
-        completed=result.completed,
-        collected=dict(collector.collected),
-    )

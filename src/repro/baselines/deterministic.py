@@ -19,6 +19,10 @@ Within ``c^2`` slots every (stayer-channel, scanner-channel) pair
 occurs, so the pair provably meets on some shared channel regardless of
 label order — zero failure probability, but a flat ``Theta(c^2)`` cost
 that randomization beats by a factor ``k`` (experiment E21).
+
+The measurement harness is
+:func:`repro.baselines.runners.run_stay_and_scan_broadcast`; protocol
+modules never import the engine (lint rule R4).
 """
 
 from __future__ import annotations
@@ -27,12 +31,8 @@ import random
 from typing import Any
 
 from repro.baselines.seeded import make_pair
-from repro.core.cogcast import BroadcastResult
 from repro.core.messages import InitPayload
 from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
 
@@ -98,37 +98,3 @@ class StayAndScanBroadcast(Protocol):
             self.informed = True
             self.parent = outcome.received.sender
             self.informed_slot = slot
-
-
-def run_stay_and_scan_broadcast(
-    network: Network,
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    max_slots: int | None = None,
-    body: Any = None,
-    collision: CollisionModel | None = None,
-) -> BroadcastResult:
-    """Run the deterministic broadcast to completion (<= c^2 slots)."""
-    c = network.channels_per_node
-    budget = max_slots if max_slots is not None else c * c
-
-    def factory(view: NodeView) -> StayAndScanBroadcast:
-        return StayAndScanBroadcast(
-            view, is_source=(view.node_id == source), body=body
-        )
-
-    engine = build_engine(network, factory, seed=seed, collision=collision)
-    protocols: list[StayAndScanBroadcast] = engine.protocols  # type: ignore[assignment]
-
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
-    result = engine.run(budget, stop_when=all_informed)
-    return BroadcastResult(
-        slots=result.slots,
-        completed=result.completed,
-        informed_count=sum(protocol.informed for protocol in protocols),
-        parents=tuple(protocol.parent for protocol in protocols),
-        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
-    )

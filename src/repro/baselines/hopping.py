@@ -16,7 +16,9 @@ impossible — there is no shared channel numbering to scan.
 Because the scheme *requires* global knowledge the NodeView deliberately
 does not carry, the protocol is constructed with the node's global
 channel ids and the universe size — exactly the extra information the
-global-label model grants.
+global-label model grants.  The measurement harness is
+:func:`repro.baselines.runners.run_hopping_together`; protocol modules
+never import the engine (lint rule R4).
 """
 
 from __future__ import annotations
@@ -25,13 +27,8 @@ from typing import Any, Sequence
 
 from repro.core.messages import InitPayload
 from repro.sim.actions import Action, Broadcast, Idle, Listen, SlotOutcome
-from repro.sim.channels import ChannelAssignment, Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, make_views
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import Channel, NodeId
-
-from repro.core.cogcast import BroadcastResult
 
 
 class HoppingTogether(Protocol):
@@ -88,47 +85,3 @@ class HoppingTogether(Protocol):
             self.informed = True
             self.parent = outcome.received.sender
             self.informed_slot = slot
-
-
-def run_hopping_together(
-    assignment: ChannelAssignment,
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    max_slots: int,
-    body: Any = None,
-    collision: CollisionModel | None = None,
-) -> BroadcastResult:
-    """Run the lockstep scan until every node is informed.
-
-    Takes the :class:`ChannelAssignment` directly (not a network)
-    because the protocol legitimately needs each node's global channel
-    ids; the scan period is ``max(universe) + 1``, matching the dense
-    global numbering the generators produce.
-    """
-    network = Network.static(assignment)
-    universe_size = max(assignment.universe) + 1
-    views = make_views(network, seed)
-    protocols = [
-        HoppingTogether(
-            view,
-            assignment.channels[view.node_id],
-            universe_size,
-            is_source=(view.node_id == source),
-            body=body,
-        )
-        for view in views
-    ]
-    engine = Engine(network, protocols, seed=seed, collision=collision)
-
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
-    result = engine.run(max_slots, stop_when=all_informed)
-    return BroadcastResult(
-        slots=result.slots,
-        completed=result.completed,
-        informed_count=sum(protocol.informed for protocol in protocols),
-        parents=tuple(protocol.parent for protocol in protocols),
-        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
-    )

@@ -11,7 +11,9 @@ measures head to head.
 
 This module also provides the two-node rendezvous primitive itself
 (:func:`pairwise_rendezvous_slots`), used to validate the ``c^2/k``
-expectation that both baselines inherit.
+expectation that both baselines inherit.  The measurement harness is
+:func:`repro.baselines.runners.run_rendezvous_broadcast`; protocol
+modules never import the engine (lint rule R4).
 """
 
 from __future__ import annotations
@@ -21,13 +23,8 @@ from typing import Any
 
 from repro.core.messages import InitPayload
 from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
-
-from repro.core.cogcast import BroadcastResult
 
 
 class RendezvousBroadcast(Protocol):
@@ -57,38 +54,6 @@ class RendezvousBroadcast(Protocol):
             self.informed = True
             self.parent = outcome.received.sender
             self.informed_slot = slot
-
-
-def run_rendezvous_broadcast(
-    network: Network,
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    max_slots: int,
-    body: Any = None,
-    collision: CollisionModel | None = None,
-) -> BroadcastResult:
-    """Run the baseline until every node has heard the source."""
-
-    def factory(view: NodeView) -> RendezvousBroadcast:
-        return RendezvousBroadcast(
-            view, is_source=(view.node_id == source), body=body
-        )
-
-    engine = build_engine(network, factory, seed=seed, collision=collision)
-    protocols: list[RendezvousBroadcast] = engine.protocols  # type: ignore[assignment]
-
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
-    result = engine.run(max_slots, stop_when=all_informed)
-    return BroadcastResult(
-        slots=result.slots,
-        completed=result.completed,
-        informed_count=sum(protocol.informed for protocol in protocols),
-        parents=tuple(protocol.parent for protocol in protocols),
-        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
-    )
 
 
 def pairwise_rendezvous_slots(

@@ -1,10 +1,10 @@
 """The paper's primary contributions: COGCAST and COGCOMP.
 
 - :class:`~repro.core.cogcast.CogCast` /
-  :func:`~repro.core.cogcast.run_local_broadcast` — epidemic local
+  :func:`~repro.core.runners.run_local_broadcast` — epidemic local
   broadcast (Section 4, Theorem 4).
 - :class:`~repro.core.cogcomp.CogComp` /
-  :func:`~repro.core.cogcomp.run_data_aggregation` — four-phase data
+  :func:`~repro.core.runners.run_data_aggregation` — four-phase data
   aggregation (Section 5, Theorem 10).
 - :class:`~repro.core.tree.DistributionTree` — the implicit spanning
   tree (Lemma 5) and its verification.
@@ -12,6 +12,10 @@
   (Definitions 6 and 8).
 - :mod:`repro.core.aggregation` — associative aggregators (the small-
   message observation in Section 5's discussion).
+- :mod:`repro.core.runners` — the engine-driving measurement harnesses.
+  Protocol modules themselves never import the engine: a node's only
+  handle on the world is its :class:`~repro.sim.protocol.NodeView`
+  (enforced by ``repro-lint`` rule R4).
 """
 
 from repro.core.aggregation import (
@@ -31,9 +35,10 @@ from repro.core.clusters import (
     clusters_from_trace,
     largest_cluster_per_slot,
 )
-from repro.core.cogcast import BroadcastResult, CogCast, LogEntry, run_local_broadcast
-from repro.core.cogcomp import AggregationResult, CogComp, run_data_aggregation
-from repro.core.gossip import GossipCast, GossipResult, run_gossip
+from repro.core.cogcast import BroadcastResult, CogCast, LogEntry
+from repro.core.cogcomp import AggregationResult, CogComp
+from repro.core.gossip import GossipCast, GossipResult
+from repro.core.runners import run_data_aggregation, run_gossip, run_local_broadcast
 from repro.core.messages import (
     AckPayload,
     ClusterSizePayload,

@@ -11,9 +11,11 @@ Theorem 4: after ``Theta((c/k) * max{1, c/n} * lg n)`` slots every node
 is informed w.h.p.
 
 This module provides the :class:`CogCast` protocol, an execution log
-(consumed by COGCOMP's phases two and three), and
-:func:`run_local_broadcast`, the measurement harness used by the
-experiments.
+(consumed by COGCOMP's phases two and three), and the
+:class:`BroadcastResult` record.  The measurement harness lives in
+:func:`repro.core.runners.run_local_broadcast`: protocol modules never
+import the engine (lint rule R4 — a node's only handle on the world is
+its :class:`~repro.sim.protocol.NodeView`).
 """
 
 from __future__ import annotations
@@ -23,13 +25,8 @@ from typing import Any, Optional
 
 from repro.core.messages import InitPayload
 from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
-from repro.sim.adversary import Jammer
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView, Protocol
-from repro.sim.trace import EventTrace
-from repro.types import NodeId, SimulationError, Slot
+from repro.types import NodeId, Slot
 
 
 @dataclass(frozen=True, slots=True)
@@ -151,54 +148,3 @@ class BroadcastResult:
     informed_count: int
     parents: tuple[Optional[NodeId], ...]
     informed_slots: tuple[Optional[Slot], ...]
-
-
-def run_local_broadcast(
-    network: Network,
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    max_slots: int,
-    body: Any = None,
-    collision: CollisionModel | None = None,
-    jammer: Jammer | None = None,
-    trace: EventTrace | None = None,
-    require_completion: bool = False,
-) -> BroadcastResult:
-    """Run COGCAST until every node is informed (or *max_slots*).
-
-    This is the measurement entry point for the broadcast experiments:
-    it reports *completion time* — the number of slots until the last
-    node learns the message — rather than running for the fixed
-    Theorem 4 bound.
-    """
-
-    def factory(view: NodeView) -> CogCast:
-        return CogCast(view, is_source=(view.node_id == source), body=body)
-
-    engine = build_engine(
-        network,
-        factory,
-        seed=seed,
-        collision=collision,
-        trace=trace,
-        jammer=jammer,
-    )
-    protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
-
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
-    result = engine.run(max_slots, stop_when=all_informed)
-    if require_completion and not result.completed:
-        raise SimulationError(
-            f"local broadcast incomplete after {max_slots} slots "
-            f"({sum(p.informed for p in protocols)}/{len(protocols)} informed)"
-        )
-    return BroadcastResult(
-        slots=result.slots,
-        completed=result.completed,
-        informed_count=sum(protocol.informed for protocol in protocols),
-        parents=tuple(protocol.parent for protocol in protocols),
-        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
-    )

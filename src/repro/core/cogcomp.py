@@ -38,30 +38,30 @@ senders re-send until explicitly acked, receivers deduplicate by sender
 id, and mediators advance only on observed acks — so transient
 misalignment (a receiver still busy elsewhere) stalls progress for a
 step but can never corrupt the aggregate.
+
+The module holds the :class:`CogComp` protocol and the
+:class:`AggregationResult` record; the measurement harness is
+:func:`repro.core.runners.run_data_aggregation` (lint rule R4 keeps
+engine-driving code out of protocol modules).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
-from repro.core.aggregation import Aggregator, CollectAggregator
+from repro.core.aggregation import Aggregator
 from repro.core.cogcast import CogCast
 from repro.core.messages import (
     AckPayload,
     ClusterSizePayload,
     CountPayload,
-    InitPayload,
     MediatorAnnouncePayload,
     ValueReportPayload,
 )
 from repro.sim.actions import Action, Broadcast, Idle, Listen, SlotOutcome
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import build_engine
 from repro.sim.protocol import NodeView, Protocol
-from repro.sim.trace import EventTrace
-from repro.types import NodeId, SimulationError, Slot
+from repro.types import NodeId, Slot
 
 
 @dataclass
@@ -492,84 +492,3 @@ class AggregationResult:
     failures: tuple[NodeId, ...]
     parents: tuple[Optional[NodeId], ...]
     max_message_bits: int
-
-
-def run_data_aggregation(
-    network: Network,
-    values: Sequence[Any],
-    *,
-    source: NodeId = 0,
-    seed: int = 0,
-    aggregator: Aggregator | None = None,
-    phase1_slots: int | None = None,
-    max_phase4_steps: int | None = None,
-    collision: CollisionModel | None = None,
-    trace: EventTrace | None = None,
-    require_completion: bool = False,
-) -> AggregationResult:
-    """Run COGCOMP end to end and return the source's aggregate.
-
-    Parameters
-    ----------
-    values:
-        ``values[u]`` is node ``u``'s datum.
-    phase1_slots:
-        Phase-one length ``l``; defaults to the Theorem 4 bound computed
-        by :func:`repro.analysis.theory.cogcast_slot_bound`.
-    max_phase4_steps:
-        Safety budget for phase four; defaults to ``6n + 64`` steps
-        (Theorem 10 guarantees ``O(n)``).
-    """
-    from repro.analysis.theory import cogcast_slot_bound
-
-    n = network.num_nodes
-    if len(values) != n:
-        raise ValueError(f"{len(values)} values for {n} nodes")
-    agg = aggregator if aggregator is not None else CollectAggregator()
-    l = (
-        phase1_slots
-        if phase1_slots is not None
-        else cogcast_slot_bound(n, network.channels_per_node, network.overlap)
-    )
-    steps_budget = max_phase4_steps if max_phase4_steps is not None else 6 * n + 64
-    max_slots = 2 * l + n + 3 * steps_budget
-
-    def factory(view: NodeView) -> CogComp:
-        return CogComp(
-            view,
-            phase1_slots=l,
-            value=values[view.node_id],
-            aggregator=agg,
-            is_source=(view.node_id == source),
-        )
-
-    engine = build_engine(
-        network, factory, seed=seed, collision=collision, trace=trace
-    )
-    protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
-    source_protocol = protocols[source]
-
-    result = engine.run(max_slots, stop_when=lambda _: source_protocol.done)
-    failures = tuple(
-        node for node, protocol in enumerate(protocols) if protocol.failed
-    )
-    if require_completion and (not result.completed or failures):
-        raise SimulationError(
-            f"aggregation incomplete: completed={result.completed}, "
-            f"failures={failures}"
-        )
-    phase4_slots = max(0, result.slots - (2 * l + n))
-    return AggregationResult(
-        value=source_protocol.aggregate if result.completed else None,
-        completed=result.completed and not failures,
-        total_slots=result.slots,
-        phase1_slots=l,
-        phase2_slots=n,
-        phase3_slots=l,
-        phase4_slots=phase4_slots,
-        failures=failures,
-        parents=tuple(protocol.parent for protocol in protocols),
-        max_message_bits=max(
-            protocol.max_message_bits for protocol in protocols
-        ),
-    )

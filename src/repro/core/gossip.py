@@ -20,6 +20,9 @@ minimally and honestly:
 No w.h.p. bound is claimed; experiment E27 measures the slots-vs-m
 scaling empirically and compares it against running COGCAST m times
 sequentially (the composition the paper's tools directly support).
+
+The measurement harness is :func:`repro.core.runners.run_gossip`;
+protocol modules never import the engine (lint rule R4).
 """
 
 from __future__ import annotations
@@ -29,9 +32,6 @@ from typing import Any, Sequence
 
 from repro.core.messages import InitPayload
 from repro.sim.actions import Action, Broadcast, Listen, SlotOutcome
-from repro.sim.channels import Network
-from repro.sim.collision import CollisionModel
-from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
 
@@ -89,42 +89,3 @@ class GossipResult:
     completed: bool
     messages: int
     coverage: tuple[int, ...]  # per-node count of messages known at the end
-
-
-def run_gossip(
-    network: Network,
-    sources: dict[NodeId, Any],
-    *,
-    seed: int = 0,
-    max_slots: int,
-    collision: CollisionModel | None = None,
-) -> GossipResult:
-    """Run gossip until every node knows every source's message.
-
-    ``sources`` maps originating node id to its message body.
-    """
-    if not sources:
-        raise ValueError("need at least one source")
-    n = network.num_nodes
-    for node in sources:
-        if not 0 <= node < n:
-            raise ValueError(f"source {node} out of range")
-
-    def factory(view: NodeView) -> GossipCast:
-        initial = [sources[view.node_id]] if view.node_id in sources else []
-        return GossipCast(view, initial)
-
-    engine = build_engine(network, factory, seed=seed, collision=collision)
-    protocols: list[GossipCast] = engine.protocols  # type: ignore[assignment]
-    want = set(sources)
-
-    def all_covered(_: Engine) -> bool:
-        return all(want <= set(protocol.known) for protocol in protocols)
-
-    result = engine.run(max_slots, stop_when=all_covered)
-    return GossipResult(
-        slots=result.slots,
-        completed=result.completed,
-        messages=len(sources),
-        coverage=tuple(len(protocol.known) for protocol in protocols),
-    )

@@ -1,0 +1,199 @@
+"""Measurement harnesses for the core protocols.
+
+Each ``run_*`` function builds an engine, drives one protocol to
+completion, and folds the per-node protocol state into a result record.
+They live here — not next to the protocol classes — because of the
+model's information asymmetry: a *node* sees only its
+:class:`~repro.sim.protocol.NodeView`, while the *harness* legitimately
+owns the world (the :class:`~repro.sim.channels.Network`, the engine,
+the trace).  The ``repro-lint`` rule R4 enforces the split: modules
+defining :class:`~repro.sim.protocol.Protocol` subclasses must never
+import the engine or the channel world-model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.aggregation import Aggregator, CollectAggregator
+from repro.core.cogcast import BroadcastResult, CogCast
+from repro.core.cogcomp import AggregationResult, CogComp
+from repro.core.gossip import GossipCast, GossipResult
+from repro.sim.adversary import Jammer
+from repro.sim.channels import Network
+from repro.sim.collision import CollisionModel
+from repro.sim.engine import Engine, build_engine
+from repro.sim.protocol import NodeView
+from repro.sim.trace import EventTrace
+from repro.types import NodeId, SimulationError
+
+
+def run_local_broadcast(
+    network: Network,
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    max_slots: int,
+    body: Any = None,
+    collision: CollisionModel | None = None,
+    jammer: Jammer | None = None,
+    trace: EventTrace | None = None,
+    require_completion: bool = False,
+) -> BroadcastResult:
+    """Run COGCAST until every node is informed (or *max_slots*).
+
+    This is the measurement entry point for the broadcast experiments:
+    it reports *completion time* — the number of slots until the last
+    node learns the message — rather than running for the fixed
+    Theorem 4 bound.
+    """
+
+    def factory(view: NodeView) -> CogCast:
+        return CogCast(view, is_source=(view.node_id == source), body=body)
+
+    engine = build_engine(
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        trace=trace,
+        jammer=jammer,
+    )
+    protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
+
+    def all_informed(_: Engine) -> bool:
+        return all(protocol.informed for protocol in protocols)
+
+    result = engine.run(max_slots, stop_when=all_informed)
+    if require_completion and not result.completed:
+        raise SimulationError(
+            f"local broadcast incomplete after {max_slots} slots "
+            f"({sum(p.informed for p in protocols)}/{len(protocols)} informed)"
+        )
+    return BroadcastResult(
+        slots=result.slots,
+        completed=result.completed,
+        informed_count=sum(protocol.informed for protocol in protocols),
+        parents=tuple(protocol.parent for protocol in protocols),
+        informed_slots=tuple(protocol.informed_slot for protocol in protocols),
+    )
+
+
+def run_data_aggregation(
+    network: Network,
+    values: Sequence[Any],
+    *,
+    source: NodeId = 0,
+    seed: int = 0,
+    aggregator: Aggregator | None = None,
+    phase1_slots: int | None = None,
+    max_phase4_steps: int | None = None,
+    collision: CollisionModel | None = None,
+    trace: EventTrace | None = None,
+    require_completion: bool = False,
+) -> AggregationResult:
+    """Run COGCOMP end to end and return the source's aggregate.
+
+    Parameters
+    ----------
+    values:
+        ``values[u]`` is node ``u``'s datum.
+    phase1_slots:
+        Phase-one length ``l``; defaults to the Theorem 4 bound computed
+        by :func:`repro.analysis.theory.cogcast_slot_bound`.
+    max_phase4_steps:
+        Safety budget for phase four; defaults to ``6n + 64`` steps
+        (Theorem 10 guarantees ``O(n)``).
+    """
+    from repro.analysis.theory import cogcast_slot_bound
+
+    n = network.num_nodes
+    if len(values) != n:
+        raise ValueError(f"{len(values)} values for {n} nodes")
+    agg = aggregator if aggregator is not None else CollectAggregator()
+    l = (
+        phase1_slots
+        if phase1_slots is not None
+        else cogcast_slot_bound(n, network.channels_per_node, network.overlap)
+    )
+    steps_budget = max_phase4_steps if max_phase4_steps is not None else 6 * n + 64
+    max_slots = 2 * l + n + 3 * steps_budget
+
+    def factory(view: NodeView) -> CogComp:
+        return CogComp(
+            view,
+            phase1_slots=l,
+            value=values[view.node_id],
+            aggregator=agg,
+            is_source=(view.node_id == source),
+        )
+
+    engine = build_engine(
+        network, factory, seed=seed, collision=collision, trace=trace
+    )
+    protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
+    source_protocol = protocols[source]
+
+    result = engine.run(max_slots, stop_when=lambda _: source_protocol.done)
+    failures = tuple(
+        node for node, protocol in enumerate(protocols) if protocol.failed
+    )
+    if require_completion and (not result.completed or failures):
+        raise SimulationError(
+            f"aggregation incomplete: completed={result.completed}, "
+            f"failures={failures}"
+        )
+    phase4_slots = max(0, result.slots - (2 * l + n))
+    return AggregationResult(
+        value=source_protocol.aggregate if result.completed else None,
+        completed=result.completed and not failures,
+        total_slots=result.slots,
+        phase1_slots=l,
+        phase2_slots=n,
+        phase3_slots=l,
+        phase4_slots=phase4_slots,
+        failures=failures,
+        parents=tuple(protocol.parent for protocol in protocols),
+        max_message_bits=max(
+            protocol.max_message_bits for protocol in protocols
+        ),
+    )
+
+
+def run_gossip(
+    network: Network,
+    sources: dict[NodeId, Any],
+    *,
+    seed: int = 0,
+    max_slots: int,
+    collision: CollisionModel | None = None,
+) -> GossipResult:
+    """Run gossip until every node knows every source's message.
+
+    ``sources`` maps originating node id to its message body.
+    """
+    if not sources:
+        raise ValueError("need at least one source")
+    n = network.num_nodes
+    for node in sources:
+        if not 0 <= node < n:
+            raise ValueError(f"source {node} out of range")
+
+    def factory(view: NodeView) -> GossipCast:
+        initial = [sources[view.node_id]] if view.node_id in sources else []
+        return GossipCast(view, initial)
+
+    engine = build_engine(network, factory, seed=seed, collision=collision)
+    protocols: list[GossipCast] = engine.protocols  # type: ignore[assignment]
+    want = set(sources)
+
+    def all_covered(_: Engine) -> bool:
+        return all(want <= set(protocol.known) for protocol in protocols)
+
+    result = engine.run(max_slots, stop_when=all_covered)
+    return GossipResult(
+        slots=result.slots,
+        completed=result.completed,
+        messages=len(sources),
+        coverage=tuple(len(protocol.known) for protocol in protocols),
+    )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.assignment import shared_core
 from repro.core import run_local_broadcast
-from repro.core.gossip import run_gossip
+from repro.core.runners import run_gossip
 from repro.experiments.harness import Table, mean, trial_seeds
 from repro.experiments.registry import register
 from repro.sim import Network

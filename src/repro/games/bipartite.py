@@ -147,7 +147,10 @@ class LazyHittingGame:
         }
         if len(edges) < self._k:
             return None
-        return set(list(edges)[: self._k])
+        # Sorted before truncating: networkx matching order varies across
+        # processes (salted str hashing), and any k edges of a perfect
+        # matching are a valid answer (lint rule R6).
+        return set(sorted(edges)[: self._k])
 
     def propose(self, edge: Edge) -> bool:
         a, b = edge

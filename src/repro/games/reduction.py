@@ -174,7 +174,9 @@ class BroadcastReductionPlayer:
                 by_vertex_listeners.setdefault(vertex, []).append(node)
 
         outcomes: dict[NodeId, SlotOutcome] = {}
-        for vertex in set(by_vertex_broadcasts) | set(by_vertex_listeners):
+        # Sorted so the per-vertex draws from _collision_rng happen in a
+        # reproducible order (lint rule R6).
+        for vertex in sorted(set(by_vertex_broadcasts) | set(by_vertex_listeners)):
             resolution = self.collision.resolve(
                 [env for _, env in by_vertex_broadcasts.get(vertex, [])],
                 self._collision_rng,

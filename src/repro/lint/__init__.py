@@ -1,0 +1,43 @@
+"""Model-soundness static analysis for the reproduction.
+
+The PODC'15 model is easy to violate silently: a protocol that peeks at
+the engine, an ambient ``random.*`` call, or a bare set iteration still
+*runs* — it just stops being a faithful, replayable reproduction.  This
+package encodes the model's invariants as AST-level lint rules
+(stdlib :mod:`ast` only, no third-party dependencies):
+
+========  ================================  ==================================
+Rule      Name                              Invariant guarded
+========  ================================  ==================================
+``R1``    no-ambient-randomness             all streams derive from the root
+                                            seed (:mod:`repro.sim.rng`)
+``R2``    no-wallclock-no-entropy           logical time is the slot counter
+``R3``    no-salted-hash                    seed derivation is stable BLAKE2b
+``R4``    protocol-isolation                nodes see only their ``NodeView``
+``R5``    no-frozen-mutation                slot records are immutable history
+``R6``    unordered-iteration-determinism   iteration orders replay exactly
+========  ================================  ==================================
+
+Run it as ``repro-lint`` / ``python -m repro lint`` / ``make lint``; the
+test suite's self-check (``tests/test_lint.py``) keeps ``src/repro``
+permanently clean.  See ``docs/lint.md`` for the rule-by-rule rationale.
+"""
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, register
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import iter_python_files, lint_file, lint_paths
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,47 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute/name chains as a dotted string.
+
+    Returns ``None`` for anything that is not a pure name chain (calls,
+    subscripts, literals...).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call targets, or ``None`` for computed callees."""
+    return dotted_name(node.func)
+
+
+def walk_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef, list[ast.stmt]]]:
+    """Yield (scope node, body) for the module and every function in it.
+
+    Class bodies are not scopes of their own here: statements directly in
+    a class body are rare and tracked conservatively by callers.
+    """
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def is_name(node: ast.expr, *names: str) -> bool:
+    """Whether *node* is a bare ``Name`` matching one of *names*."""
+    return isinstance(node, ast.Name) and node.id in names

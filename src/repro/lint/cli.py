@@ -1,0 +1,103 @@
+"""The ``repro-lint`` command-line interface.
+
+Usage::
+
+    repro-lint [paths ...] [--format text|json] [--select R1,R4]
+    repro-lint --list-rules
+
+(Equivalently ``python -m repro lint ...``.)  With no paths the linter
+checks ``src/repro``.  Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis enforcing the PODC'15 model invariants: "
+            "seeded randomness, no wall clock, no salted hashes, protocol "
+            "isolation, frozen records, deterministic iteration."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (e.g. R1,R4)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+    return parser
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    output_format: str = "text",
+    select: str | None = None,
+) -> int:
+    """Lint *paths* and print a report; returns the process exit code."""
+    targets = list(paths) or ["src/repro"]
+    missing = [target for target in targets if not Path(target).exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    selected = (
+        [part.strip() for part in select.split(",") if part.strip()]
+        if select
+        else None
+    )
+    try:
+        findings = lint_paths(targets, select=selected)
+    except ValueError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    renderer = render_json if output_format == "json" else render_text
+    print(renderer(findings))
+    return 1 if findings else 0
+
+
+def list_rules() -> int:
+    """Print every registered rule with the invariant it guards."""
+    for rule_id, rule in all_rules().items():
+        print(f"{rule_id}  {rule.title}")
+        print(f"      {rule.invariant}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return list_rules()
+    return run(args.paths, output_format=args.format, select=args.select)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The :class:`Finding` record emitted by lint rules.
+
+A finding pins one model-invariant violation to a file, line, and
+column, named by the rule that produced it.  Findings sort by location
+so reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One static-analysis violation.
+
+    Attributes
+    ----------
+    path: file the violation lives in (as passed to the linter).
+    line: 1-based line number.
+    col: 0-based column offset.
+    rule: rule identifier (``R1``..``R6``).
+    message: human-readable explanation, phrased against the model
+        invariant the rule guards.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text-report form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serializable mapping (for the JSON reporter)."""
+        return asdict(self)

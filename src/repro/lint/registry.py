@@ -1,0 +1,63 @@
+"""The lint-rule registry.
+
+Rules are small classes, registered by the :func:`register` decorator at
+import time; the runner asks :func:`all_rules` for the full set.  Each
+rule carries its identifier, a one-line title, and the model invariant
+it enforces (surfaced by ``repro-lint --list-rules``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Type, TypeVar
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+
+class Rule(abc.ABC):
+    """Base class for a single static-analysis rule.
+
+    Class attributes
+    ----------------
+    rule_id: short identifier (``R1``..``R6``).
+    title: one-line name of the rule.
+    invariant: the model assumption the rule machine-checks, phrased
+        against the paper.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    invariant: str = ""
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for *module* (suppressions applied later)."""
+
+    def finding(self, module: ModuleContext, line: int, col: int, message: str) -> Finding:
+        """Build a :class:`Finding` attributed to this rule."""
+        return Finding(
+            path=module.path, line=line, col=col, rule=self.rule_id, message=message
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+RuleType = TypeVar("RuleType", bound=Type[Rule])
+
+
+def register(cls: RuleType) -> RuleType:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULES[cls.rule_id] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """All registered rules, keyed by id, in id order."""
+    import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+
+    return dict(sorted(_RULES.items()))

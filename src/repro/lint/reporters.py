@@ -1,0 +1,36 @@
+"""Finding reporters: plain text for terminals, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    count = len(findings)
+    if count:
+        rules = sorted({finding.rule for finding in findings})
+        lines.append("")
+        lines.append(
+            f"{count} finding{'s' if count != 1 else ''} ({', '.join(rules)})"
+        )
+    else:
+        lines.append("clean: no model-invariant violations found")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: finding list plus per-rule counts."""
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    document = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

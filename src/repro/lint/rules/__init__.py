@@ -1,0 +1,25 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`.  Each module holds one rule; the rule's
+docstring states the model invariant it guards (mirrored in
+``docs/lint.md``).
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import registers the rules)
+    ambient_randomness,
+    frozen_mutation,
+    protocol_isolation,
+    salted_hash,
+    unordered_iteration,
+    wallclock,
+)
+
+__all__ = [
+    "ambient_randomness",
+    "frozen_mutation",
+    "protocol_isolation",
+    "salted_hash",
+    "unordered_iteration",
+    "wallclock",
+]

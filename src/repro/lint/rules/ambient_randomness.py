@@ -1,0 +1,164 @@
+"""R1 — no ambient randomness.
+
+Every stochastic component must draw from a stream derived from the
+experiment's root seed (:func:`repro.sim.rng.derive_rng`,
+:func:`repro.sim.rng.spawn_rngs`, or a node's ``NodeView.rng``).
+Module-level ``random.*`` calls share one ambient, unscoped stream: any
+reordering of consumers silently perturbs every experiment row, and an
+unseeded ``random.Random()`` seeds itself from OS entropy, which breaks
+replay outright.  ``numpy.random`` is banned wholesale for the same
+reason (its global state is process-wide).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: ``random``-module functions that consume the shared ambient stream.
+AMBIENT_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+@register
+class AmbientRandomnessRule(Rule):
+    """Forbid the shared ``random`` stream and ``numpy.random``."""
+
+    rule_id = "R1"
+    title = "no-ambient-randomness"
+    invariant = (
+        "all randomness derives from the root seed via repro.sim.rng "
+        "(derive_rng / spawn_rngs) or a NodeView.rng"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        random_aliases = module.aliases_of("random")
+        numpy_aliases = module.aliases_of("numpy")
+        from_random = module.names_from("random")
+
+        # ``from random import shuffle`` is an ambient stream in disguise;
+        # flag the import itself so the binding never exists.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in AMBIENT_FUNCS:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            f"'from random import {alias.name}' binds the shared "
+                            "ambient stream; derive a stream via "
+                            "repro.sim.rng.derive_rng instead",
+                        )
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                banned = self._numpy_random_import(node)
+                if banned:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{banned} is forbidden: numpy's global random state "
+                        "breaks per-stream reproducibility; use "
+                        "repro.sim.rng.derive_rng",
+                    )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            head, _, tail = name.partition(".")
+            if head in random_aliases and tail in AMBIENT_FUNCS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"module-level {name}() draws from the shared ambient "
+                    "stream; use a stream from repro.sim.rng.derive_rng or "
+                    "NodeView.rng",
+                )
+            elif head in random_aliases and tail == "SystemRandom":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() draws OS entropy and can never be replayed",
+                )
+            elif (
+                head in random_aliases
+                and tail == "Random"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"unseeded {name}() self-seeds from OS entropy; pass a "
+                    "seed from repro.sim.rng.derive_seed",
+                )
+            elif (
+                not tail
+                and from_random.get(head) == "Random"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"unseeded {head}() self-seeds from OS entropy; pass a "
+                    "seed from repro.sim.rng.derive_seed",
+                )
+            elif head in numpy_aliases and tail.startswith("random"):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() is forbidden: numpy.random breaks per-stream "
+                    "reproducibility; use repro.sim.rng.derive_rng",
+                )
+
+    @staticmethod
+    def _numpy_random_import(node: ast.Import | ast.ImportFrom) -> str | None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("numpy.random"):
+                    return f"import {alias.name}"
+            return None
+        if node.module and node.module.startswith("numpy.random"):
+            return f"from {node.module} import ..."
+        if node.module == "numpy" and any(
+            alias.name == "random" for alias in node.names
+        ):
+            return "from numpy import random"
+        return None

@@ -1,0 +1,66 @@
+"""R3 — the builtin ``hash()`` never feeds derivation or persistence.
+
+Python salts ``hash()`` for ``str``/``bytes`` per process
+(``PYTHONHASHSEED``), so two runs of the same experiment can disagree on
+every hash value.  :mod:`repro.sim.rng` already warns about this: seed
+derivation must go through BLAKE2b (:func:`repro.sim.rng.derive_seed`).
+This rule bans *every* call of the builtin in library code — a hash that
+only keys a transient dict is harmless, but the cheap, safe spelling is
+to not write one at all, and the dangerous uses (seed material, sort
+keys, persisted identifiers) are indistinguishable statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+@register
+class SaltedHashRule(Rule):
+    """Forbid calls to the process-salted builtin ``hash()``."""
+
+    rule_id = "R3"
+    title = "no-salted-hash"
+    invariant = (
+        "seed derivation is a stable BLAKE2b hash (repro.sim.rng."
+        "derive_seed); the salted builtin hash() differs across processes"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        shadowed = _locally_bound_names(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and "hash" not in shadowed
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); use repro.sim.rng.derive_seed for "
+                    "stable derivation",
+                )
+
+
+def _locally_bound_names(tree: ast.Module) -> set[str]:
+    """Names assigned or imported at module level (builtin shadowing)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+    return bound

@@ -1,0 +1,195 @@
+"""R6 — determinism of iteration order: never walk a ``set`` bare.
+
+Set iteration order is an implementation detail (and for strings it is
+salted per process).  When such an order flows into RNG consumption, a
+trace, or a persisted result, the experiment stops replaying: the same
+seed produces different rows.  The engine's own slot loop shows the
+sanctioned pattern — ``sorted(set(...) | set(...))`` before resolving
+contention.  This rule flags ``for``-loops, comprehensions, and
+order-materialising calls (``list``, ``tuple``, ``enumerate``, ``iter``,
+``reversed``) whose operand is syntactically set-valued; wrap the
+operand in ``sorted(...)`` or consume it with an order-insensitive
+reduction (``len``, ``sum``, ``min``, ``max``, ``any``, ``all``).
+
+The analysis is intentionally local: set literals, ``set()``/
+``frozenset()`` calls, set operators over them, set-annotated names, and
+names assigned such values within the same function.  Order-insensitive
+sinks the rule cannot prove safe can be silenced with
+``# lint: disable=R6``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Builtins that materialise their operand's iteration order.
+ORDER_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+#: Set methods that return another set.
+SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+class _ScopeInfo:
+    """Set-valued-name classification for one function or module scope."""
+
+    def __init__(self, body: list[ast.stmt], args: ast.arguments | None) -> None:
+        self.set_names: set[str] = set()
+        self._body = body
+        self._args = args
+        self._classify()
+
+    def _classify(self) -> None:
+        if self._args is not None:
+            for arg in (
+                list(self._args.posonlyargs)
+                + list(self._args.args)
+                + list(self._args.kwonlyargs)
+            ):
+                if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                    self.set_names.add(arg.arg)
+        # Fixpoint over local assignments: a name is set-valued when every
+        # assignment to it in this scope is.
+        for _ in range(4):
+            candidates: dict[str, bool] = {}
+            for node in _scope_walk(self._body):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                    targets, value = [node.target], node.value
+                    if _is_set_annotation(node.annotation):
+                        for target in targets:
+                            if isinstance(target, ast.Name):
+                                candidates.setdefault(target.id, True)
+                elif isinstance(node, ast.AugAssign):
+                    continue  # `s |= ...` preserves the classification
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    valued = value is not None and self.is_set_valued(value)
+                    previous = candidates.get(target.id)
+                    candidates[target.id] = valued if previous is None else (
+                        previous and valued
+                    )
+            updated = {name for name, valued in candidates.items() if valued}
+            if updated == self.set_names:
+                break
+            self.set_names = updated
+
+    def is_set_valued(self, node: ast.expr) -> bool:
+        """Whether *node* is syntactically a ``set``/``frozenset`` value."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SET_RETURNING_METHODS
+                and self.is_set_valued(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_valued(node.left) or self.is_set_valued(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Flag bare iteration over sets feeding ordered computation."""
+
+    rule_id = "R6"
+    title = "unordered-iteration-determinism"
+    invariant = (
+        "iteration orders that reach RNG draws, traces, or persisted "
+        "results are fixed by sorting, never by set layout"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        scopes: list[tuple[list[ast.stmt], ast.arguments | None]] = [
+            (module.tree.body, None)
+        ]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node.body, node.args))
+        for body, args in scopes:
+            info = _ScopeInfo(body, args)
+            for node in _scope_walk(body):
+                yield from self._check_node(module, info, node)
+
+    def _check_node(
+        self, module: ModuleContext, info: _ScopeInfo, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and info.is_set_valued(node.iter):
+            yield self._flag(module, node.iter, "for-loop iterates")
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            # List/dict comprehensions materialise order; set comprehensions
+            # and generator expressions are judged by what consumes them.
+            for generator in node.generators:
+                if info.is_set_valued(generator.iter):
+                    yield self._flag(module, generator.iter, "comprehension iterates")
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ORDER_MATERIALIZERS
+            and node.args
+        ):
+            operand = node.args[0]
+            if info.is_set_valued(operand):
+                yield self._flag(module, operand, f"{node.func.id}() materialises")
+            elif isinstance(operand, ast.GeneratorExp):
+                for generator in operand.generators:
+                    if info.is_set_valued(generator.iter):
+                        yield self._flag(
+                            module, generator.iter, f"{node.func.id}() materialises"
+                        )
+
+    def _flag(self, module: ModuleContext, node: ast.expr, what: str) -> Finding:
+        return self.finding(
+            module,
+            node.lineno,
+            node.col_offset,
+            f"{what} a set in unspecified order; wrap it in sorted(...) so "
+            "the order (and anything it feeds — RNG draws, traces, results) "
+            "replays deterministically",
+        )
+
+
+def _scope_walk(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Set", "FrozenSet", "AbstractSet")
+    return False

@@ -1,0 +1,139 @@
+"""R2 — no wall-clock time, no OS entropy.
+
+The simulation is slot-synchronous: logical time is the slot counter,
+and every run must replay bit-identically from ``(root seed, scenario)``.
+Reading the wall clock (``time.time``, ``datetime.now``) or OS entropy
+(``os.urandom``, ``uuid.uuid4``, the ``secrets`` module) injects
+nondeterminism that no seed controls.  Monotonic performance counters
+(``time.perf_counter``) remain allowed — measuring how long a run took
+is reporting, not simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: (module, attribute) call targets that read wall-clock time or entropy.
+BANNED_CALLS: dict[tuple[str, str], str] = {
+    ("time", "time"): "wall-clock time",
+    ("time", "time_ns"): "wall-clock time",
+    ("time", "ctime"): "wall-clock time",
+    ("time", "localtime"): "wall-clock time",
+    ("time", "gmtime"): "wall-clock time",
+    ("os", "urandom"): "OS entropy",
+    ("os", "getrandom"): "OS entropy",
+    ("uuid", "uuid1"): "host clock/MAC entropy",
+    ("uuid", "uuid4"): "OS entropy",
+}
+
+#: ``datetime`` constructors that snapshot the wall clock.
+DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class WallclockRule(Rule):
+    """Forbid wall-clock reads and entropy sources in simulation code."""
+
+    rule_id = "R2"
+    title = "no-wallclock-no-entropy"
+    invariant = (
+        "logical time is the slot counter; replay depends only on the "
+        "root seed, never on when or where a run happens"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = {
+            local: target
+            for target in ("time", "os", "uuid", "datetime", "secrets")
+            for local in module.aliases_of(target)
+        }
+        from_names: dict[str, tuple[str, str]] = {}
+        for target in ("time", "os", "uuid", "datetime", "secrets"):
+            for local, original in module.names_from(target).items():
+                from_names[local] = (target, original)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(module, node)
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            head, tail = parts[0], parts[-1]
+            root = aliases.get(head)
+            if root == "secrets":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() draws OS entropy; no seed can replay it",
+                )
+            elif root and (root, tail) in BANNED_CALLS and len(parts) == 2:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() reads {BANNED_CALLS[(root, tail)]}; simulation "
+                    "state must depend only on the slot counter and the root "
+                    "seed",
+                )
+            elif root == "datetime" and tail in DATETIME_NOW:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() snapshots the wall clock; use the slot counter",
+                )
+            elif (
+                len(parts) == 2
+                and tail in DATETIME_NOW
+                and from_names.get(head, ("", ""))[0] == "datetime"
+                and from_names[head][1] in ("datetime", "date")
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"{name}() snapshots the wall clock; use the slot counter",
+                )
+            elif len(parts) == 1 and head in from_names:
+                source, original = from_names[head]
+                if (source, original) in BANNED_CALLS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"{head}() reads {BANNED_CALLS[(source, original)]}; "
+                        "simulation state must depend only on the slot counter "
+                        "and the root seed",
+                    )
+
+    def _check_import(
+        self, module: ModuleContext, node: ast.Import | ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "secrets":
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "the secrets module is entropy by construction; "
+                        "derive randomness from the root seed instead",
+                    )
+        elif node.module == "secrets":
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                "the secrets module is entropy by construction; derive "
+                "randomness from the root seed instead",
+            )

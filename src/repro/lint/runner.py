@@ -1,0 +1,89 @@
+"""File discovery and rule execution for ``repro-lint``.
+
+:func:`lint_paths` is the programmatic entry point (the test suite's
+self-check calls it directly); the CLI in :mod:`repro.lint.cli` is a
+thin argument-parsing layer over it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+
+#: Directory names never descended into.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand *paths* (files or directories) into a sorted file list."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & SKIPPED_DIRS or any(
+                    part.endswith(".egg-info") for part in candidate.parts
+                ):
+                    continue
+                files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run *rules* (default: all) over one file; suppressions applied."""
+    chosen = list(rules) if rules is not None else list(all_rules().values())
+    source = Path(path).read_text(encoding="utf-8")
+    try:
+        module = ModuleContext.parse(str(path), source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=str(path),
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule="E0",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    findings: set[Finding] = set()
+    for rule in chosen:
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding.line, finding.rule):
+                findings.add(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every python file under *paths*.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories.
+    select:
+        Optional rule ids to restrict to (e.g. ``["R1", "R4"]``).
+    """
+    rules = all_rules()
+    if select is not None:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [rule for rule_id, rule in rules.items() if rule_id in wanted]
+    else:
+        chosen = list(rules.values())
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, chosen))
+    return sorted(findings)

@@ -26,6 +26,8 @@ PACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.games",
+    "repro.lint",
+    "repro.lint.rules",
     "repro.sim",
     "repro.spectrum",
 ]

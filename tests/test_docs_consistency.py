@@ -79,6 +79,7 @@ class TestReadme:
             "repro.experiments",
             "repro.spectrum",
             "repro.apps",
+            "repro.lint",
         ):
             assert package in readme, f"{package} missing from README"
 

@@ -7,7 +7,8 @@ import random
 import pytest
 
 from repro.assignment import identical, shared_core
-from repro.core.gossip import GossipCast, run_gossip
+from repro.core.gossip import GossipCast
+from repro.core.runners import run_gossip
 from repro.sim import Network
 
 

@@ -1,0 +1,452 @@
+"""Tests for the model-soundness linter (``repro.lint``).
+
+One positive (flagged) and one negative (clean) fixture per rule,
+suppression-comment behaviour, the CLI exit-code contract, and the
+self-check that the shipped sources pass every rule.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, all_rules, lint_file, lint_paths
+from repro.lint.cli import main as lint_main
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def lint_snippet(tmp_path, source, *, name="snippet.py", select=None):
+    """Write *source* under a repro-shaped tree and lint it."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([str(path)], select=select)
+
+
+def rules_hit(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestR1AmbientRandomness:
+    def test_module_level_random_call_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def pick():
+                return random.random()
+            """,
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_aliased_import_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random as rnd
+
+            def pick():
+                return rnd.randint(0, 10)
+            """,
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_unseeded_random_instance_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            rng = random.Random()
+            """,
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_numpy_random_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.rand()
+            """,
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+        )
+        assert "R1" not in rules_hit(findings)
+
+    def test_derived_stream_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.rng import derive_rng
+
+            def make(root_seed):
+                return derive_rng(root_seed, "node", 3)
+            """,
+        )
+        assert not findings
+
+
+class TestR2Wallclock:
+    def test_time_time_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert "R2" in rules_hit(findings)
+
+    def test_datetime_now_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert "R2" in rules_hit(findings)
+
+    def test_os_urandom_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import os
+
+            def entropy():
+                return os.urandom(8)
+            """,
+        )
+        assert "R2" in rules_hit(findings)
+
+    def test_perf_counter_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """,
+        )
+        assert "R2" not in rules_hit(findings)
+
+
+class TestR3SaltedHash:
+    def test_builtin_hash_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def bucket(key, n):
+                return hash(key) % n
+            """,
+        )
+        assert "R3" in rules_hit(findings)
+
+    def test_shadowed_hash_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def hash(value):
+                '''A deterministic local hash.'''
+                return value * 2654435761 % 2**32
+
+            def bucket(key, n):
+                return hash(key) % n
+            """,
+        )
+        assert "R3" not in rules_hit(findings)
+
+    def test_hashlib_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import hashlib
+
+            def digest(data):
+                return hashlib.blake2b(data).hexdigest()
+            """,
+        )
+        assert not findings
+
+
+class TestR4ProtocolIsolation:
+    PROTO_WITH_ENGINE = """
+        from repro.sim.engine import build_engine
+        from repro.sim.protocol import NodeView, Protocol
+
+        class Leaky(Protocol):
+            def begin_slot(self, slot):
+                return None
+
+            def end_slot(self, slot, outcome):
+                return None
+        """
+
+    def test_engine_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.PROTO_WITH_ENGINE, name="repro/core/leaky.py"
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_same_module_outside_protocol_layer_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.PROTO_WITH_ENGINE, name="repro/sim/leaky.py"
+        )
+        assert "R4" not in rules_hit(findings)
+
+    def test_runner_module_without_protocol_class_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.engine import build_engine
+
+            def run(network, factory, seed):
+                return build_engine(network, factory, seed=seed).run(100)
+            """,
+            name="repro/core/runners.py",
+        )
+        assert "R4" not in rules_hit(findings)
+
+    def test_engine_internals_access_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.protocol import Protocol
+
+            class Peeking(Protocol):
+                def begin_slot(self, slot):
+                    return self.view.engine._slot_counter
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/baselines/peeking.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+
+class TestR5FrozenMutation:
+    def test_object_setattr_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def tamper(view, rng):
+                object.__setattr__(view, "rng", rng)
+            """,
+        )
+        assert "R5" in rules_hit(findings)
+
+    def test_post_init_self_pattern_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Record:
+                '''A frozen record with a derived field.'''
+
+                value: int
+
+                def __post_init__(self):
+                    object.__setattr__(self, "value", abs(self.value))
+            """,
+        )
+        assert "R5" not in rules_hit(findings)
+
+
+class TestR6UnorderedIteration:
+    def test_for_over_set_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng):
+                pending = {3, 1, 2}
+                for item in pending:
+                    rng.random()
+            """,
+        )
+        assert "R6" in rules_hit(findings)
+
+    def test_list_of_set_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def first_k(edges, k):
+                chosen = set(edges)
+                return list(chosen)[:k]
+            """,
+        )
+        assert "R6" in rules_hit(findings)
+
+    def test_sorted_set_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng):
+                pending = {3, 1, 2}
+                for item in sorted(pending):
+                    rng.random()
+            """,
+        )
+        assert "R6" not in rules_hit(findings)
+
+    def test_order_insensitive_reduction_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def total(values):
+                distinct = set(values)
+                return sum(v for v in distinct)
+            """,
+        )
+        assert "R6" not in rules_hit(findings)
+
+
+class TestSuppression:
+    def test_inline_disable_silences_one_rule(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng):
+                pending = {3, 1, 2}
+                for item in pending:  # lint: disable=R6
+                    rng.random()
+            """,
+        )
+        assert "R6" not in rules_hit(findings)
+
+    def test_disable_wrong_rule_still_flags(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng):
+                pending = {3, 1, 2}
+                for item in pending:  # lint: disable=R1
+                    rng.random()
+            """,
+        )
+        assert "R6" in rules_hit(findings)
+
+    def test_standalone_comment_shields_next_line(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def stamp():
+                import time
+
+                # lint: disable=R2
+                return time.time()
+            """,
+        )
+        assert "R2" not in rules_hit(findings)
+
+    def test_file_level_disable(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            # lint: disable-file=R3
+            def bucket(key, n):
+                return hash(key) % n
+
+            def bucket2(key, n):
+                return hash(key) % n
+            """,
+        )
+        assert "R3" not in rules_hit(findings)
+
+
+class TestRunnerAndCli:
+    def test_registry_has_six_rules(self):
+        assert sorted(all_rules()) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        findings = lint_paths([str(path)])
+        assert findings and findings[0].rule == "E0"
+
+    def test_select_unknown_rule_raises(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            lint_paths([str(path)], select=["R99"])
+
+    def test_finding_render_format(self):
+        finding = Finding(path="a.py", line=3, col=4, rule="R1", message="boom")
+        assert finding.render() == "a.py:3:4: R1 boom"
+
+    def test_cli_exit_zero_on_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_exit_one_on_violation(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        assert lint_main([str(path)]) == 1
+        assert "R2" in capsys.readouterr().out
+
+    def test_cli_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("bucket = hash('x')\n", encoding="utf-8")
+        assert lint_main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["by_rule"] == {"R3": 1}
+
+    def test_cli_select_restricts_rules(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        assert lint_main([str(path), "--select", "R1"]) == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+
+
+class TestSelfCheck:
+    def test_shipped_sources_are_clean(self):
+        findings = lint_paths([str(SRC)])
+        rendered = "\n".join(finding.render() for finding in findings)
+        assert not findings, f"src/repro has violations:\n{rendered}"
+
+    def test_injected_violation_is_caught(self, tmp_path):
+        """End-to-end acceptance check: a planted bug makes lint fail."""
+        victim = tmp_path / "repro" / "core" / "planted.py"
+        victim.parent.mkdir(parents=True)
+        victim.write_text(
+            "import random\n\n\ndef jitter():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        assert lint_main([str(tmp_path)]) == 1
