@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench experiments report examples all
+.PHONY: install test lint bench experiments report examples obs-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,5 +24,10 @@ report:
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+obs-demo:
+	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --telemetry telemetry.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs validate telemetry.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs summary telemetry.jsonl
 
 all: lint test bench

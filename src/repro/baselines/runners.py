@@ -7,11 +7,15 @@ As in :mod:`repro.core.runners`, the split is the model's information
 asymmetry made structural: protocol modules hold only node-side code
 (lint rule R4), while these harnesses own the world — networks, engines,
 and global channel ids.
+
+As in :mod:`repro.core.runners`, every runner takes optional
+observability instruments (probe, profiler, telemetry sink) so baseline
+runs leave the same ``kind="run"`` manifests as the core protocols.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.baselines.aggregation import (
     BaselineAggregationResult,
@@ -22,11 +26,43 @@ from repro.baselines.deterministic import StayAndScanBroadcast
 from repro.baselines.hopping import HoppingTogether
 from repro.baselines.rendezvous import RendezvousBroadcast
 from repro.core.cogcast import BroadcastResult
+from repro.obs.telemetry import run_record
 from repro.sim.channels import ChannelAssignment, Network
 from repro.sim.collision import CollisionModel
 from repro.sim.engine import Engine, build_engine, make_views
 from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.probe import SlotProbe
+    from repro.obs.profiler import Profiler
+    from repro.obs.telemetry import TelemetrySink
+
+
+def _emit_run(
+    telemetry: "TelemetrySink | None",
+    *,
+    protocol: str,
+    seed: int,
+    network: Network,
+    slots: int,
+    completed: bool,
+    probe: "SlotProbe | None",
+    profiler: "Profiler | None",
+) -> None:
+    """Emit one run manifest when a telemetry sink is attached."""
+    if telemetry is not None:
+        telemetry.emit(
+            run_record(
+                protocol=protocol,
+                seed=seed,
+                network=network,
+                slots=slots,
+                outcome="completed" if completed else "budget",
+                probe=probe,
+                profiler=profiler,
+            )
+        )
 
 
 def _broadcast_result(result: Any, protocols: Sequence[Any]) -> BroadcastResult:
@@ -48,6 +84,9 @@ def run_rendezvous_broadcast(
     max_slots: int,
     body: Any = None,
     collision: CollisionModel | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the baseline until every node has heard the source."""
 
@@ -56,13 +95,25 @@ def run_rendezvous_broadcast(
             view, is_source=(view.node_id == source), body=body
         )
 
-    engine = build_engine(network, factory, seed=seed, collision=collision)
+    engine = build_engine(
+        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+    )
     protocols: list[RendezvousBroadcast] = engine.protocols  # type: ignore[assignment]
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
     result = engine.run(max_slots, stop_when=all_informed)
+    _emit_run(
+        telemetry,
+        protocol="rendezvous-broadcast",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        completed=result.completed,
+        probe=probe,
+        profiler=profiler,
+    )
     return _broadcast_result(result, protocols)
 
 
@@ -74,6 +125,9 @@ def run_stay_and_scan_broadcast(
     max_slots: int | None = None,
     body: Any = None,
     collision: CollisionModel | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the deterministic broadcast to completion (<= c^2 slots)."""
     c = network.channels_per_node
@@ -84,13 +138,25 @@ def run_stay_and_scan_broadcast(
             view, is_source=(view.node_id == source), body=body
         )
 
-    engine = build_engine(network, factory, seed=seed, collision=collision)
+    engine = build_engine(
+        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+    )
     protocols: list[StayAndScanBroadcast] = engine.protocols  # type: ignore[assignment]
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
     result = engine.run(budget, stop_when=all_informed)
+    _emit_run(
+        telemetry,
+        protocol="stay-and-scan",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        completed=result.completed,
+        probe=probe,
+        profiler=profiler,
+    )
     return _broadcast_result(result, protocols)
 
 
@@ -102,6 +168,9 @@ def run_rendezvous_aggregation(
     seed: int = 0,
     max_slots: int,
     collision: CollisionModel | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> BaselineAggregationResult:
     """Run the baseline until the source holds every node's value."""
     n = network.num_nodes
@@ -113,13 +182,25 @@ def run_rendezvous_aggregation(
             return RendezvousCollector(view)
         return RendezvousReporter(view, values[view.node_id])
 
-    engine = build_engine(network, factory, seed=seed, collision=collision)
+    engine = build_engine(
+        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+    )
     collector: RendezvousCollector = engine.protocols[source]  # type: ignore[assignment]
 
     def all_collected(_: Engine) -> bool:
         return len(collector.collected) >= n - 1
 
     result = engine.run(max_slots, stop_when=all_collected)
+    _emit_run(
+        telemetry,
+        protocol="rendezvous-aggregation",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        completed=result.completed,
+        probe=probe,
+        profiler=profiler,
+    )
     return BaselineAggregationResult(
         slots=result.slots,
         completed=result.completed,
@@ -135,6 +216,9 @@ def run_hopping_together(
     max_slots: int,
     body: Any = None,
     collision: CollisionModel | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the lockstep scan until every node is informed.
 
@@ -156,10 +240,22 @@ def run_hopping_together(
         )
         for view in views
     ]
-    engine = Engine(network, protocols, seed=seed, collision=collision)
+    engine = Engine(
+        network, protocols, seed=seed, collision=collision, probe=probe, profiler=profiler
+    )
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
     result = engine.run(max_slots, stop_when=all_informed)
+    _emit_run(
+        telemetry,
+        protocol="hopping-together",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        completed=result.completed,
+        probe=probe,
+        profiler=profiler,
+    )
     return _broadcast_result(result, protocols)

@@ -3,12 +3,15 @@
 Usage::
 
     repro-experiments list
-    repro-experiments run E01 [--trials N] [--seed S] [--fast]
-    repro-experiments run all [--trials N] [--seed S] [--fast]
+    repro-experiments run E01 [--trials N] [--seed S] [--fast] [--telemetry F]
+    repro-experiments run all [--trials N] [--seed S] [--fast] [--telemetry F]
     repro-experiments lint [paths ...] [--format json] [--select R4,R6]
+    repro-experiments obs validate|summary|tail telemetry.jsonl [...]
 
 (Equivalently ``python -m repro ...``.  ``lint`` is also installed as
-the standalone ``repro-lint`` console script; see :mod:`repro.lint`.)
+the standalone ``repro-lint`` console script (see :mod:`repro.lint`)
+and ``obs`` as ``repro-obs`` (see :mod:`repro.obs`).  ``--telemetry``
+appends one JSONL manifest per experiment to the given file.)
 """
 
 from __future__ import annotations
@@ -41,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--fast", action="store_true", help="shrunken sweeps (CI-sized)"
     )
+    run_parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="append one JSONL manifest per experiment to FILE",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -51,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--trials", type=int, default=None)
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument(
+        "--telemetry", default=None, metavar="FILE",
+        help="append one JSONL manifest per experiment to FILE",
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="validate / summarize / tail telemetry files"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("validate", "schema-check every record; exit 1 on problems"),
+        ("summary", "grouped digest of runs / experiments / campaigns"),
+        ("tail", "pretty-print the newest records"),
+    ):
+        obs_command = obs_sub.add_parser(name, help=help_text)
+        obs_command.add_argument("files", nargs="+", help="telemetry JSONL files")
+        if name == "tail":
+            obs_command.add_argument(
+                "-n", "--limit", type=int, default=10, help="records to show"
+            )
 
     lint_parser = subparsers.add_parser(
         "lint", help="check sources against the model-soundness rules"
@@ -64,16 +93,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str, trials: int | None, seed: int, fast: bool) -> None:
+def _run_one(
+    experiment_id: str,
+    trials: int | None,
+    seed: int,
+    fast: bool,
+    telemetry: object | None = None,
+) -> None:
     spec = get(experiment_id)
-    kwargs: dict[str, object] = {"seed": seed, "fast": fast}
-    if trials is not None:
-        kwargs["trials"] = trials
     start = time.perf_counter()
-    table = spec.run(**kwargs)
+    if telemetry is not None:
+        from repro.experiments.harness import run_with_telemetry
+
+        table = run_with_telemetry(
+            spec, telemetry, trials=trials, seed=seed, fast=fast
+        )
+    else:
+        kwargs: dict[str, object] = {"seed": seed, "fast": fast}
+        if trials is not None:
+            kwargs["trials"] = trials
+        table = spec.run(**kwargs)
     elapsed = time.perf_counter() - start
     print(table.render())
     print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+
+def _open_sink(path: str | None) -> object | None:
+    """A :class:`repro.obs.telemetry.TelemetrySink` for *path*, if given."""
+    if path is None:
+        return None
+    from repro.obs.telemetry import TelemetrySink
+
+    return TelemetrySink(path)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -85,14 +136,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"      {spec.claim}")
         return 0
     if args.command == "run":
-        if args.experiment.lower() == "all":
-            for experiment_id in load_all():
-                _run_one(experiment_id, args.trials, args.seed, args.fast)
-        else:
-            _run_one(args.experiment.upper(), args.trials, args.seed, args.fast)
+        sink = _open_sink(args.telemetry)
+        try:
+            if args.experiment.lower() == "all":
+                for experiment_id in load_all():
+                    _run_one(experiment_id, args.trials, args.seed, args.fast, sink)
+            else:
+                _run_one(
+                    args.experiment.upper(), args.trials, args.seed, args.fast, sink
+                )
+        finally:
+            if sink is not None:
+                sink.close()  # type: ignore[attr-defined]
         return 0
     if args.command == "report":
-        write_report(args.output, trials=args.trials, seed=args.seed, fast=args.fast)
+        sink = _open_sink(args.telemetry)
+        try:
+            write_report(
+                args.output,
+                trials=args.trials,
+                seed=args.seed,
+                fast=args.fast,
+                telemetry=sink,
+            )
+        finally:
+            if sink is not None:
+                sink.close()  # type: ignore[attr-defined]
         print(f"wrote {args.output}")
         return 0
     if args.command == "lint":
@@ -101,16 +170,29 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.list_rules:
             return lint_cli.list_rules()
         return lint_cli.run(args.paths, output_format=args.format, select=args.select)
+    if args.command == "obs":
+        from repro.obs import cli as obs_cli
+
+        return obs_cli.run(
+            args.obs_command, args.files, limit=getattr(args, "limit", 10)
+        )
     return 2
 
 
 def write_report(
-    path: str, *, trials: int | None = None, seed: int = 0, fast: bool = False
+    path: str,
+    *,
+    trials: int | None = None,
+    seed: int = 0,
+    fast: bool = False,
+    telemetry: object | None = None,
 ) -> None:
     """Run every registered experiment and write one markdown report.
 
     The report records the exact invocation so any table can be
-    regenerated in isolation.
+    regenerated in isolation.  When *telemetry* (a
+    :class:`repro.obs.telemetry.TelemetrySink`) is given, each
+    experiment also emits one manifest record.
     """
     sections: list[str] = [
         "# Reproduction report",
@@ -120,11 +202,18 @@ def write_report(
         "",
     ]
     for experiment_id, spec in load_all().items():
-        kwargs: dict[str, object] = {"seed": seed, "fast": fast}
-        if trials is not None:
-            kwargs["trials"] = trials
         start = time.perf_counter()
-        table = spec.run(**kwargs)
+        if telemetry is not None:
+            from repro.experiments.harness import run_with_telemetry
+
+            table = run_with_telemetry(
+                spec, telemetry, trials=trials, seed=seed, fast=fast
+            )
+        else:
+            kwargs: dict[str, object] = {"seed": seed, "fast": fast}
+            if trials is not None:
+                kwargs["trials"] = trials
+            table = spec.run(**kwargs)
         elapsed = time.perf_counter() - start
         sections.append(f"## {experiment_id} — {spec.title}")
         sections.append("")

@@ -9,16 +9,23 @@ owns the world (the :class:`~repro.sim.channels.Network`, the engine,
 the trace).  The ``repro-lint`` rule R4 enforces the split: modules
 defining :class:`~repro.sim.protocol.Protocol` subclasses must never
 import the engine or the channel world-model.
+
+Every runner optionally takes observability instruments from
+:mod:`repro.obs`: a *probe* and *profiler* handed to the engine, and a
+*telemetry* sink that receives one ``kind="run"`` manifest per call —
+emitted even when ``require_completion`` raises, so failed runs leave a
+record.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.aggregation import Aggregator, CollectAggregator
 from repro.core.cogcast import BroadcastResult, CogCast
 from repro.core.cogcomp import AggregationResult, CogComp
 from repro.core.gossip import GossipCast, GossipResult
+from repro.obs.telemetry import run_record
 from repro.sim.adversary import Jammer
 from repro.sim.channels import Network
 from repro.sim.collision import CollisionModel
@@ -26,6 +33,37 @@ from repro.sim.engine import Engine, build_engine
 from repro.sim.protocol import NodeView
 from repro.sim.trace import EventTrace
 from repro.types import NodeId, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.probe import SlotProbe
+    from repro.obs.profiler import Profiler
+    from repro.obs.telemetry import TelemetrySink
+
+
+def _emit_run(
+    telemetry: "TelemetrySink | None",
+    *,
+    protocol: str,
+    seed: int,
+    network: Network,
+    slots: int,
+    outcome: str,
+    probe: "SlotProbe | None",
+    profiler: "Profiler | None",
+) -> None:
+    """Emit one run manifest when a telemetry sink is attached."""
+    if telemetry is not None:
+        telemetry.emit(
+            run_record(
+                protocol=protocol,
+                seed=seed,
+                network=network,
+                slots=slots,
+                outcome=outcome,
+                probe=probe,
+                profiler=profiler,
+            )
+        )
 
 
 def run_local_broadcast(
@@ -39,6 +77,9 @@ def run_local_broadcast(
     jammer: Jammer | None = None,
     trace: EventTrace | None = None,
     require_completion: bool = False,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run COGCAST until every node is informed (or *max_slots*).
 
@@ -58,6 +99,8 @@ def run_local_broadcast(
         collision=collision,
         trace=trace,
         jammer=jammer,
+        probe=probe,
+        profiler=profiler,
     )
     protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
 
@@ -65,6 +108,16 @@ def run_local_broadcast(
         return all(protocol.informed for protocol in protocols)
 
     result = engine.run(max_slots, stop_when=all_informed)
+    _emit_run(
+        telemetry,
+        protocol="cogcast",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        outcome="completed" if result.completed else "budget",
+        probe=probe,
+        profiler=profiler,
+    )
     if require_completion and not result.completed:
         raise SimulationError(
             f"local broadcast incomplete after {max_slots} slots "
@@ -91,6 +144,9 @@ def run_data_aggregation(
     collision: CollisionModel | None = None,
     trace: EventTrace | None = None,
     require_completion: bool = False,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> AggregationResult:
     """Run COGCOMP end to end and return the source's aggregate.
 
@@ -129,7 +185,13 @@ def run_data_aggregation(
         )
 
     engine = build_engine(
-        network, factory, seed=seed, collision=collision, trace=trace
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        trace=trace,
+        probe=probe,
+        profiler=profiler,
     )
     protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
     source_protocol = protocols[source]
@@ -137,6 +199,22 @@ def run_data_aggregation(
     result = engine.run(max_slots, stop_when=lambda _: source_protocol.done)
     failures = tuple(
         node for node, protocol in enumerate(protocols) if protocol.failed
+    )
+    if failures:
+        outcome = "failed"
+    elif result.completed:
+        outcome = "completed"
+    else:
+        outcome = "budget"
+    _emit_run(
+        telemetry,
+        protocol="cogcomp",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        outcome=outcome,
+        probe=probe,
+        profiler=profiler,
     )
     if require_completion and (not result.completed or failures):
         raise SimulationError(
@@ -167,6 +245,9 @@ def run_gossip(
     seed: int = 0,
     max_slots: int,
     collision: CollisionModel | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> GossipResult:
     """Run gossip until every node knows every source's message.
 
@@ -183,7 +264,14 @@ def run_gossip(
         initial = [sources[view.node_id]] if view.node_id in sources else []
         return GossipCast(view, initial)
 
-    engine = build_engine(network, factory, seed=seed, collision=collision)
+    engine = build_engine(
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        probe=probe,
+        profiler=profiler,
+    )
     protocols: list[GossipCast] = engine.protocols  # type: ignore[assignment]
     want = set(sources)
 
@@ -191,6 +279,16 @@ def run_gossip(
         return all(want <= set(protocol.known) for protocol in protocols)
 
     result = engine.run(max_slots, stop_when=all_covered)
+    _emit_run(
+        telemetry,
+        protocol="gossip",
+        seed=seed,
+        network=network,
+        slots=result.slots,
+        outcome="completed" if result.completed else "budget",
+        probe=probe,
+        profiler=profiler,
+    )
     return GossipResult(
         slots=result.slots,
         completed=result.completed,

@@ -67,12 +67,26 @@ class Campaign:
         *,
         trials: int,
         seed: int = 0,
+        telemetry: Any = None,
     ) -> list[PointResult]:
-        """Measure every grid point with *trials* independent seeds."""
+        """Measure every grid point with *trials* independent seeds.
+
+        When *telemetry* (any object with ``emit(record)``, typically a
+        :class:`repro.obs.telemetry.TelemetrySink`) is given, one
+        ``kind="campaign"`` manifest is emitted per grid point as it
+        completes, with the point, its trial count, the sample mean, and
+        the point's ``perf_counter`` wall time.
+        """
         if trials < 1:
             raise ValueError("trials must be positive")
+        if telemetry is not None:
+            from time import perf_counter
+
+            from repro.obs.telemetry import campaign_record
         results: list[PointResult] = []
         for index, point in enumerate(grid):
+            if telemetry is not None:
+                start = perf_counter()
             samples = tuple(
                 float(
                     self.measure(
@@ -82,11 +96,23 @@ class Campaign:
                 for trial in range(trials)
             )
             _, low, high = mean_confidence_interval(list(samples))
+            summary = summarize(samples)
+            if telemetry is not None:
+                telemetry.emit(
+                    campaign_record(
+                        name=self.name,
+                        seed=seed,
+                        point=point,
+                        trials=trials,
+                        mean=summary.mean,
+                        elapsed_s=perf_counter() - start,
+                    )
+                )
             results.append(
                 PointResult(
                     point=dict(point),
                     samples=samples,
-                    summary=summarize(samples),
+                    summary=summary,
                     ci_low=low,
                     ci_high=high,
                 )

@@ -4,9 +4,11 @@ The paper's model gives a node nothing but its local channel labels, its
 identity, ``(n, c, k)``, and private coins.  In code that contract is
 the :class:`repro.sim.protocol.NodeView`.  A module that *defines* a
 :class:`~repro.sim.protocol.Protocol` subclass is node-algorithm code
-and must therefore never import the engine or the channel world-model —
-the runner harnesses that build engines live in sibling ``runners``
-modules.  Inside a protocol class body, reaching into another object's
+and must therefore never import the engine, the channel world-model, or
+the observability layer (:mod:`repro.obs` probes see engine-side ground
+truth — physical channels, global winner identity — which a node must
+not consult) — the runner harnesses that build engines and attach
+probes live in sibling ``runners`` modules.  Inside a protocol class body, reaching into another object's
 underscore-prefixed attributes is flagged for the same reason: it is how
 engine internals (collision state, physical channel maps) leak into a
 node's decisions.
@@ -22,7 +24,7 @@ from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
 #: Modules a protocol-defining module may never import.
-FORBIDDEN_MODULES = ("repro.sim.engine", "repro.sim.channels")
+FORBIDDEN_MODULES = ("repro.sim.engine", "repro.sim.channels", "repro.obs")
 
 #: Engine/world names re-exported by ``repro.sim`` — importing them from
 #: the package facade is the same violation.

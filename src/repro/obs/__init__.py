@@ -1,0 +1,70 @@
+"""Streaming observability for the simulation engine.
+
+The paper's claims are asymptotic slot bounds; understanding *why* a
+run took the slots it did previously required recording a full
+:class:`~repro.sim.trace.EventTrace` (memory-heavy, opt-in) and
+analysing it after the fact.  This package provides the always-on,
+constant-memory alternative:
+
+- **Probes** (:class:`SlotProbe`, :class:`ProtocolProbe`) — hook
+  objects the engine fires per slot / channel event / node action.
+  With no probe attached the engine pays only a ``None`` check, so
+  production sweeps keep their benchmark numbers.
+- **Streaming aggregators** (:class:`StreamingStat`,
+  :class:`FixedHistogram`) and the concrete probes built on them
+  (:class:`CountersProbe`, :class:`HistogramProbe`,
+  :class:`ActivityProbe`).  :meth:`CountersProbe.metrics` reproduces
+  :class:`~repro.sim.metrics.TraceMetrics` exactly, without retaining
+  a single event.
+- **Profiler** (:class:`Profiler`) — ``time.perf_counter``-based wall
+  time attribution to engine sections and harness phases (R2-safe:
+  monotonic counters only, never the wall clock).
+- **Telemetry** (:class:`TelemetrySink`) — machine-readable JSONL run
+  manifests (seed, ``n``/``c``/``k``/``C``, protocol, slot count,
+  outcome, counters, timings) emitted by the runner harnesses, plus a
+  ``python -m repro obs`` CLI that validates, tails, and summarizes
+  telemetry files.
+
+Everything here is analysis-side: protocols never see probes, sinks,
+or profilers (lint rule R4 forbids protocol modules from importing
+this package).
+"""
+
+from repro.obs.aggregators import FixedHistogram, StreamingStat
+from repro.obs.probe import MultiProbe, ProtocolProbe, SlotProbe, attach
+from repro.obs.probes import ActivityProbe, CountersProbe, HistogramProbe
+from repro.obs.profiler import Profiler, SectionStat
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryError,
+    TelemetrySink,
+    campaign_record,
+    experiment_record,
+    read_telemetry,
+    run_record,
+    summarize_records,
+    validate_record,
+)
+
+__all__ = [
+    "ActivityProbe",
+    "CountersProbe",
+    "FixedHistogram",
+    "HistogramProbe",
+    "MultiProbe",
+    "Profiler",
+    "ProtocolProbe",
+    "SectionStat",
+    "SlotProbe",
+    "StreamingStat",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryError",
+    "TelemetrySink",
+    "attach",
+    "campaign_record",
+    "experiment_record",
+    "read_telemetry",
+    "run_record",
+    "summarize_records",
+    "validate_record",
+]

@@ -1,0 +1,127 @@
+"""The ``repro obs`` CLI: validate, tail, and summarize telemetry files.
+
+Usage (also installed as the standalone ``repro-obs`` console script)::
+
+    repro-obs validate telemetry.jsonl [...]   # schema-check every line
+    repro-obs summary telemetry.jsonl [...]    # grouped digest
+    repro-obs tail telemetry.jsonl -n 5        # last records, pretty-printed
+
+Exit status: 0 on success, 1 when validation finds problems or a file
+is unreadable, 2 on usage errors (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.telemetry import (
+    read_telemetry,
+    summarize_records,
+    tail_records,
+    validate_record,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect repro telemetry (JSONL run manifests)",
+    )
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+    for name, help_text in (
+        ("validate", "schema-check every record; exit 1 on problems"),
+        ("summary", "grouped digest of runs / experiments / campaigns"),
+        ("tail", "pretty-print the newest records"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("files", nargs="+", help="telemetry JSONL files")
+        if name == "tail":
+            command.add_argument(
+                "-n", "--limit", type=int, default=10, help="records to show"
+            )
+    return parser
+
+
+def validate_files(files: Sequence[str]) -> int:
+    """Validate every record in every file; print problems; 0 iff clean."""
+    total = 0
+    problems_found = 0
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            print(f"{path}: {error.strerror or error}", file=sys.stderr)
+            problems_found += 1
+            continue
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            total += 1
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                print(f"{path}:{number}: not valid JSON ({error.msg})")
+                problems_found += 1
+                continue
+            for problem in validate_record(record):
+                print(f"{path}:{number}: {problem}")
+                problems_found += 1
+    if problems_found:
+        print(f"{problems_found} problems in {total} records")
+        return 1
+    print(f"{total} records valid")
+    return 0
+
+
+def summarize_files(files: Sequence[str]) -> int:
+    """Print a digest of all records across *files*; 0 iff all readable."""
+    records = []
+    for path in files:
+        try:
+            records.extend(read_telemetry(path, strict=False))
+        except OSError as error:
+            print(f"{path}: {error.strerror or error}", file=sys.stderr)
+            return 1
+    print(summarize_records(records))
+    return 0
+
+
+def tail_files(files: Sequence[str], limit: int) -> int:
+    """Pretty-print the newest *limit* records across *files*."""
+    records = []
+    for path in files:
+        try:
+            records.extend(read_telemetry(path, strict=False))
+        except OSError as error:
+            print(f"{path}: {error.strerror or error}", file=sys.stderr)
+            return 1
+    for record in tail_records(records, limit):
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def run(obs_command: str, files: Sequence[str], *, limit: int = 10) -> int:
+    """Dispatch one obs subcommand (used by ``python -m repro obs``)."""
+    if obs_command == "validate":
+        return validate_files(files)
+    if obs_command == "summary":
+        return summarize_files(files)
+    if obs_command == "tail":
+        return tail_files(files, limit)
+    raise ValueError(f"unknown obs command {obs_command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-obs`` console script."""
+    args = build_parser().parse_args(argv)
+    return run(args.obs_command, args.files, limit=getattr(args, "limit", 10))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

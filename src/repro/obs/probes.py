@@ -1,0 +1,215 @@
+"""Concrete probes: streaming counters, histograms, per-node activity.
+
+These are the ready-made instruments most runs want.
+:class:`CountersProbe` folds channel events with exactly the same
+accounting as :func:`repro.sim.metrics.compute_metrics`, so its
+:meth:`~CountersProbe.metrics` output is bit-identical to analysing a
+full :class:`~repro.sim.trace.EventTrace` of the same seeded run —
+without retaining a single event (``tests/test_obs.py`` locks the two
+code paths together).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs.aggregators import FixedHistogram, StreamingStat
+from repro.obs.probe import ProtocolProbe, SlotProbe
+from repro.sim.actions import Broadcast, Idle, Listen
+from repro.sim.metrics import TraceMetrics
+from repro.sim.trace import ChannelEvent
+from repro.types import Channel, NodeId, Slot
+
+
+class CountersProbe(SlotProbe):
+    """Streaming equivalent of :func:`repro.sim.metrics.compute_metrics`.
+
+    Maintains the full :class:`~repro.sim.metrics.TraceMetrics` counter
+    set — transmissions, successes, collisions, undelivered contended
+    slots, deliveries, wasted listens, distinct channels, peak
+    contention — in memory bounded by the channel universe, never by
+    run length.
+    """
+
+    def __init__(self) -> None:
+        self.transmissions = 0
+        self.successes = 0
+        self.collisions = 0
+        self.undelivered_contended = 0
+        self.wasted_listens = 0
+        self.deliveries = 0
+        self.peak_channel_contention = 0
+        self.slots_observed = 0
+        self._last_slot: Slot | None = None
+        self._channels: set[Channel] = set()
+
+    def on_channel_event(self, event: ChannelEvent) -> None:
+        """Fold one channel event; mirrors ``compute_metrics`` exactly."""
+        if event.slot != self._last_slot:
+            # The engine emits events in non-decreasing slot order, so
+            # counting slot transitions equals counting distinct slots.
+            self.slots_observed += 1
+            self._last_slot = event.slot
+        self._channels.add(event.channel)
+        contenders = len(event.broadcasters)
+        self.transmissions += contenders
+        if contenders > self.peak_channel_contention:
+            self.peak_channel_contention = contenders
+        if event.winner is not None:
+            self.successes += 1
+        if contenders >= 2:
+            self.collisions += 1
+            if event.winner is None:
+                self.undelivered_contended += 1
+        live_listeners = sum(
+            1 for node in event.listeners if node not in event.jammed_nodes
+        )
+        if event.winner is not None:
+            self.deliveries += live_listeners
+        else:
+            self.wasted_listens += live_listeners
+        self.wasted_listens += len(event.listeners) - live_listeners
+
+    @property
+    def distinct_channels_used(self) -> int:
+        """Physical channels touched at least once."""
+        return len(self._channels)
+
+    def metrics(self) -> TraceMetrics:
+        """The counters as a :class:`~repro.sim.metrics.TraceMetrics`."""
+        return TraceMetrics(
+            slots_observed=self.slots_observed,
+            transmissions=self.transmissions,
+            successes=self.successes,
+            collisions=self.collisions,
+            undelivered_contended=self.undelivered_contended,
+            wasted_listens=self.wasted_listens,
+            deliveries=self.deliveries,
+            distinct_channels_used=self.distinct_channels_used,
+            peak_channel_contention=self.peak_channel_contention,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counter snapshot (telemetry ``counters`` field)."""
+        return {
+            "slots_observed": self.slots_observed,
+            "transmissions": self.transmissions,
+            "successes": self.successes,
+            "collisions": self.collisions,
+            "undelivered_contended": self.undelivered_contended,
+            "deliveries": self.deliveries,
+            "wasted_listens": self.wasted_listens,
+            "distinct_channels_used": self.distinct_channels_used,
+            "peak_channel_contention": self.peak_channel_contention,
+        }
+
+
+class HistogramProbe(SlotProbe):
+    """Fixed-bucket distributions of contention and delivery latency.
+
+    - ``contention`` — broadcasters per active channel-slot (bucket
+      width 1): the shape behind the collision rate.
+    - ``latency`` — the slot at which each node *first* received any
+      message, i.e. the epidemic spread profile, without a trace.
+
+    Memory is the two bucket arrays plus one set of informed node ids
+    (bounded by ``n``), independent of run length.
+    """
+
+    def __init__(
+        self,
+        *,
+        contention_buckets: int = 16,
+        latency_width: float = 8.0,
+        latency_buckets: int = 64,
+    ) -> None:
+        self.contention = FixedHistogram(width=1.0, buckets=contention_buckets)
+        self.latency = FixedHistogram(width=latency_width, buckets=latency_buckets)
+        self.contention_stat = StreamingStat()
+        self._heard: set[NodeId] = set()
+
+    def on_channel_event(self, event: ChannelEvent) -> None:
+        """Record contention, and first-delivery latency per listener."""
+        contenders = len(event.broadcasters)
+        if contenders:
+            self.contention.push(contenders)
+            self.contention_stat.push(contenders)
+        if event.winner is None:
+            return
+        for node in event.listeners:
+            if node not in event.jammed_nodes and node not in self._heard:
+                self._heard.add(node)
+                self.latency.push(event.slot)
+
+    @property
+    def nodes_heard(self) -> int:
+        """How many distinct nodes have received at least one message."""
+        return len(self._heard)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot of both distributions."""
+        return {
+            "contention": self.contention.as_dict(),
+            "contention_stat": self.contention_stat.as_dict(),
+            "latency": self.latency.as_dict(),
+            "nodes_heard": self.nodes_heard,
+        }
+
+
+class ActivityProbe(ProtocolProbe):
+    """Per-node action accounting: who talks, who listens, who idles.
+
+    A :class:`~repro.obs.probe.ProtocolProbe`: it observes every node's
+    action and outcome, at one hook call per live node per slot.  Useful
+    for spotting starved or chattering nodes that slot-level channel
+    events cannot attribute.
+    """
+
+    def __init__(self) -> None:
+        self.broadcasts: Counter[NodeId] = Counter()
+        self.listens: Counter[NodeId] = Counter()
+        self.idles: Counter[NodeId] = Counter()
+        self.wins: Counter[NodeId] = Counter()
+        self.receptions: Counter[NodeId] = Counter()
+        self.jammed_slots: Counter[NodeId] = Counter()
+
+    def on_action(self, slot: Slot, node: NodeId, action: object) -> None:
+        """Tally the action kind for *node*."""
+        if isinstance(action, Broadcast):
+            self.broadcasts[node] += 1
+        elif isinstance(action, Listen):
+            self.listens[node] += 1
+        elif isinstance(action, Idle):
+            self.idles[node] += 1
+
+    def on_outcome(self, slot: Slot, node: NodeId, outcome: object) -> None:
+        """Tally wins, receptions, and jammed slots for *node*."""
+        if getattr(outcome, "success", None):
+            self.wins[node] += 1
+        if getattr(outcome, "received", None) is not None:
+            self.receptions[node] += 1
+        if getattr(outcome, "jammed", False):
+            self.jammed_slots[node] += 1
+
+    def active_slots(self, node: NodeId) -> int:
+        """Slots in which *node* was on the air (broadcast or listen)."""
+        return self.broadcasts[node] + self.listens[node]
+
+    def busiest(self, count: int = 5) -> list[tuple[NodeId, int]]:
+        """The *count* nodes with the most broadcast slots."""
+        return self.broadcasts.most_common(count)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready totals (per-node detail collapsed to aggregates)."""
+        nodes = (
+            set(self.broadcasts) | set(self.listens) | set(self.idles)
+        )
+        return {
+            "nodes_seen": len(nodes),
+            "broadcast_slots": sum(self.broadcasts.values()),
+            "listen_slots": sum(self.listens.values()),
+            "idle_slots": sum(self.idles.values()),
+            "win_slots": sum(self.wins.values()),
+            "reception_slots": sum(self.receptions.values()),
+            "jammed_slots": sum(self.jammed_slots.values()),
+        }

@@ -1,0 +1,100 @@
+"""Wall-time attribution for engine sections and harness phases.
+
+The profiler answers "where did the seconds go" for a simulation run:
+how much wall time the engine spent collecting actions vs resolving
+contention vs delivering outcomes, and how much a harness spent in
+setup vs the slot loop.  It uses ``time.perf_counter`` exclusively —
+a monotonic duration source, not the wall clock — so it is legal under
+lint rule R2: profiling measures *reporting* time, never simulation
+state.
+
+Attach one to an engine (``Engine(..., profiler=profiler)`` or
+``engine.profiler = profiler``) to populate the built-in sections
+``engine.collect`` (action collection + label translation + grouping),
+``engine.resolve`` (contention + trace/probe recording), and
+``engine.deliver`` (outcome delivery).  Use :meth:`Profiler.section`
+to time your own phases around it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class SectionStat:
+    """Accumulated wall time for one named section."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+
+class Profiler:
+    """Accumulates ``perf_counter`` durations under section names."""
+
+    def __init__(self) -> None:
+        self._sections: dict[str, SectionStat] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Attribute *seconds* of wall time to section *name*."""
+        stat = self._sections.get(name)
+        if stat is None:
+            stat = self._sections[name] = SectionStat()
+        stat.seconds += seconds
+        stat.calls += 1
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into section *name*.
+
+        Sections may nest; each accumulates its own inclusive time.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def sections(self) -> dict[str, SectionStat]:
+        """Name -> stat, sorted by accumulated seconds (descending)."""
+        return dict(
+            sorted(
+                self._sections.items(),
+                key=lambda item: item[1].seconds,
+                reverse=True,
+            )
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all sections' accumulated time."""
+        return sum(stat.seconds for stat in self._sections.values())
+
+    def reset(self) -> None:
+        """Drop all accumulated sections."""
+        self._sections.clear()
+
+    def as_dict(self) -> dict[str, dict[str, float | int]]:
+        """JSON-ready form (telemetry ``timings`` field)."""
+        return {
+            name: {"seconds": round(stat.seconds, 6), "calls": stat.calls}
+            for name, stat in self.sections().items()
+        }
+
+    def report(self) -> str:
+        """An aligned text table: section, seconds, share, calls."""
+        sections = self.sections()
+        if not sections:
+            return "(no sections profiled)"
+        total = self.total_seconds or 1.0
+        width = max(len(name) for name in sections)
+        lines = [f"{'section':<{width}}  {'seconds':>10}  {'share':>6}  {'calls':>8}"]
+        for name, stat in sections.items():
+            lines.append(
+                f"{name:<{width}}  {stat.seconds:>10.4f}  "
+                f"{stat.seconds / total:>6.1%}  {stat.calls:>8}"
+            )
+        return "\n".join(lines)

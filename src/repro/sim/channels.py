@@ -248,6 +248,17 @@ class Network:
 
     def __init__(self, schedule: AssignmentSchedule) -> None:
         self.schedule = schedule
+        self._probe: object | None = None
+
+    def attach_probe(self, probe: object | None) -> None:
+        """Attach (or, with ``None``, detach) a translation observer.
+
+        The observer's ``on_translation(slot, node, label, channel)``
+        hook fires on every successful label translation.  Duck-typed so
+        this module never imports :mod:`repro.obs`; costs one ``is
+        None`` check per translation when detached.
+        """
+        self._probe = probe
 
     @classmethod
     def static(cls, assignment: ChannelAssignment, *, validate: bool = True) -> "Network":
@@ -277,7 +288,10 @@ class Network:
                 f"node {node} used local label {label}; "
                 f"valid labels are 0..{self.channels_per_node - 1}"
             )
-        return self.schedule.at(slot).physical(node, label)
+        channel = self.schedule.at(slot).physical(node, label)
+        if self._probe is not None:
+            self._probe.on_translation(slot, node, label, channel)
+        return channel
 
     def assignment_at(self, slot: int) -> ChannelAssignment:
         return self.schedule.at(slot)

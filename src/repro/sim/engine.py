@@ -11,13 +11,24 @@ The engine enforces the information model: protocols only ever see local
 labels and their own outcomes.  All global knowledge (physical channels,
 who collided with whom) lives here and, optionally, in an
 :class:`~repro.sim.trace.EventTrace` for analysis.
+
+Observability: the engine carries two optional, duck-typed instruments
+from :mod:`repro.obs` — a *probe* (fired per slot, per channel event,
+and, for node-observing probes, per action/outcome) and a *profiler*
+(``perf_counter`` wall time attributed to the ``engine.collect`` /
+``engine.resolve`` / ``engine.deliver`` sections).  Both default to
+``None`` and cost exactly one ``is None`` check per hook site when
+absent, so un-instrumented runs keep their benchmark numbers.  The
+engine deliberately does not import :mod:`repro.obs` (the dependency
+points the other way); any object with the right hooks works.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.sim.actions import Action, Broadcast, Envelope, Idle, Listen, SlotOutcome
 from repro.sim.adversary import Jammer, NullJammer
@@ -27,6 +38,10 @@ from repro.sim.protocol import NodeView, Protocol
 from repro.sim.rng import derive_rng
 from repro.sim.trace import ChannelEvent, EventTrace
 from repro.types import Channel, NodeId, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - types only; sim must not import obs
+    from repro.obs.probe import SlotProbe
+    from repro.obs.profiler import Profiler
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +79,15 @@ class Engine:
         Optional event trace to populate.
     jammer:
         Optional jamming adversary.
+    probe:
+        Optional streaming probe (see :mod:`repro.obs.probe`).  Fired
+        per slot and per channel event; probes whose
+        ``observes_nodes`` attribute is true additionally receive every
+        node's action and outcome.
+    profiler:
+        Optional profiler (see :mod:`repro.obs.profiler`).  Populates
+        the ``engine.collect`` / ``engine.resolve`` / ``engine.deliver``
+        wall-time sections.
     """
 
     def __init__(
@@ -75,6 +99,8 @@ class Engine:
         seed: int = 0,
         trace: EventTrace | None = None,
         jammer: Jammer | None = None,
+        probe: "SlotProbe | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         if len(protocols) != network.num_nodes:
             raise ValueError(
@@ -86,7 +112,26 @@ class Engine:
         self.rng = derive_rng(seed, "engine-collision")
         self.trace = trace
         self.jammer = jammer or NullJammer()
+        self.profiler = profiler
+        self._probe: "SlotProbe | None" = None
+        self._node_probe: "SlotProbe | None" = None
+        self.probe = probe
         self.slot = 0
+
+    @property
+    def probe(self) -> "SlotProbe | None":
+        """The attached streaming probe, if any."""
+        return self._probe
+
+    @probe.setter
+    def probe(self, probe: "SlotProbe | None") -> None:
+        # Resolve the per-node dispatch decision once, not per slot.
+        self._probe = probe
+        self._node_probe = (
+            probe
+            if probe is not None and getattr(probe, "observes_nodes", False)
+            else None
+        )
 
     @property
     def all_done(self) -> bool:
@@ -96,12 +141,22 @@ class Engine:
         """Execute one synchronous slot."""
         slot = self.slot
         num_nodes = self.network.num_nodes
+        probe = self._probe
+        node_probe = self._node_probe
+        profiler = self.profiler
+        if profiler is not None:
+            section_start = perf_counter()
+        if probe is not None:
+            probe.on_slot_begin(slot)
 
         actions: dict[NodeId, Action] = {}
         for node, protocol in enumerate(self.protocols):
             if protocol.done:
                 continue
-            actions[node] = protocol.begin_slot(slot)
+            action = protocol.begin_slot(slot)
+            actions[node] = action
+            if node_probe is not None:
+                node_probe.on_action(slot, node, action)
 
         jammed_at = self.jammer.jammed(slot, num_nodes)
 
@@ -123,6 +178,11 @@ class Engine:
                 broadcasters.setdefault(channel, []).append((node, envelope))
             else:
                 listeners.setdefault(channel, []).append(node)
+
+        if profiler is not None:
+            now = perf_counter()
+            profiler.add("engine.collect", now - section_start)
+            section_start = now
 
         # Resolve contention channel by channel.
         outcomes: dict[NodeId, SlotOutcome] = {}
@@ -164,29 +224,36 @@ class Engine:
                     jammed=True,
                 )
 
-            if self.trace is not None:
-                self.trace.record(
-                    ChannelEvent(
-                        slot=slot,
-                        channel=channel,
-                        broadcasters=tuple(
-                            node for node, _ in channel_broadcasters
-                        )
-                        + tuple(
-                            node
-                            for node in channel_jammed
-                            if isinstance(actions[node], Broadcast)
-                        ),
-                        listeners=tuple(channel_listeners)
-                        + tuple(
-                            node
-                            for node in channel_jammed
-                            if isinstance(actions[node], Listen)
-                        ),
-                        winner=winner,
-                        jammed_nodes=frozenset(channel_jammed),
+            if self.trace is not None or probe is not None:
+                event = ChannelEvent(
+                    slot=slot,
+                    channel=channel,
+                    broadcasters=tuple(
+                        node for node, _ in channel_broadcasters
                     )
+                    + tuple(
+                        node
+                        for node in channel_jammed
+                        if isinstance(actions[node], Broadcast)
+                    ),
+                    listeners=tuple(channel_listeners)
+                    + tuple(
+                        node
+                        for node in channel_jammed
+                        if isinstance(actions[node], Listen)
+                    ),
+                    winner=winner,
+                    jammed_nodes=frozenset(channel_jammed),
                 )
+                if self.trace is not None:
+                    self.trace.record(event)
+                if probe is not None:
+                    probe.on_channel_event(event)
+
+        if profiler is not None:
+            now = perf_counter()
+            profiler.add("engine.resolve", now - section_start)
+            section_start = now
 
         # Idle nodes still get an outcome so protocols see every slot.
         for node, action in actions.items():
@@ -195,6 +262,13 @@ class Engine:
 
         for node, outcome in outcomes.items():
             self.protocols[node].end_slot(slot, outcome)
+            if node_probe is not None:
+                node_probe.on_outcome(slot, node, outcome)
+
+        if probe is not None:
+            probe.on_slot_end(slot, len(actions))
+        if profiler is not None:
+            profiler.add("engine.deliver", perf_counter() - section_start)
 
         self.slot += 1
 
@@ -220,12 +294,21 @@ class Engine:
             out before the stop condition is met.
         """
         condition = stop_when if stop_when is not None else (lambda engine: engine.all_done)
+        probe = self._probe
+        if probe is not None:
+            probe.on_run_start(
+                num_nodes=self.network.num_nodes,
+                num_channels=self.network.channels_per_node,
+                overlap=self.network.overlap,
+            )
         executed = 0
         completed = condition(self)
         while not completed and executed < max_slots:
             self.step()
             executed += 1
             completed = condition(self)
+        if probe is not None:
+            probe.on_run_end(executed)
         if require_completion and not completed:
             raise SimulationError(
                 f"run did not complete within {max_slots} slots"
@@ -255,6 +338,8 @@ def build_engine(
     collision: CollisionModel | None = None,
     trace: EventTrace | None = None,
     jammer: Jammer | None = None,
+    probe: "SlotProbe | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> Engine:
     """Convenience constructor: build views, protocols, and the engine.
 
@@ -271,4 +356,6 @@ def build_engine(
         seed=seed,
         trace=trace,
         jammer=jammer,
+        probe=probe,
+        profiler=profiler,
     )

@@ -25,9 +25,15 @@ class TraceMetrics:
     slots_observed: distinct slots with at least one recorded event.
     transmissions: total broadcast attempts (jammed ones included).
     successes: channel-slots where some message won.
-    collisions: channel-slots with two or more contenders (one of which
-        still wins under the paper's model — "collision" here means
-        contention occurred, not that the slot was wasted).
+    collisions: channel-slots with two or more contenders, whether or
+        not a message got through ("collision" means contention
+        occurred; under the paper's single-winner model one contender
+        still wins, but jammed or destructive-model slots may not
+        deliver at all).
+    undelivered_contended: the subset of ``collisions`` channel-slots
+        in which *no* message won (all contenders jammed, or a
+        destructive collision model) — the denominator correction for
+        :attr:`collision_rate`.
     wasted_listens: listener-slots that received nothing.
     deliveries: listener-slots that received a message.
     distinct_channels_used: physical channels touched at least once.
@@ -43,12 +49,20 @@ class TraceMetrics:
     deliveries: int
     distinct_channels_used: int
     peak_channel_contention: int
+    undelivered_contended: int = 0
 
     @property
     def collision_rate(self) -> float:
-        """Fraction of active channel-slots with contention."""
-        active = self.successes if self.successes else 1
-        return self.collisions / active
+        """Fraction of active channel-slots with contention.
+
+        Active channel-slots are those where a transmission could have
+        been heard: the successful ones plus the contended ones nothing
+        survived (jammed / destructive).  Dividing by successes alone —
+        the historical behaviour — reported a 0 rate for runs whose
+        every contended slot was jammed.
+        """
+        active = self.successes + self.undelivered_contended
+        return self.collisions / active if active else 0.0
 
     @property
     def delivery_efficiency(self) -> float:
@@ -64,6 +78,7 @@ def compute_metrics(trace: EventTrace) -> TraceMetrics:
     transmissions = 0
     successes = 0
     collisions = 0
+    undelivered_contended = 0
     wasted_listens = 0
     deliveries = 0
     peak = 0
@@ -75,8 +90,10 @@ def compute_metrics(trace: EventTrace) -> TraceMetrics:
         peak = max(peak, contenders)
         if event.winner is not None:
             successes += 1
-            if contenders >= 2:
-                collisions += 1
+        if contenders >= 2:
+            collisions += 1
+            if event.winner is None:
+                undelivered_contended += 1
         live_listeners = [
             node for node in event.listeners if node not in event.jammed_nodes
         ]
@@ -90,6 +107,7 @@ def compute_metrics(trace: EventTrace) -> TraceMetrics:
         transmissions=transmissions,
         successes=successes,
         collisions=collisions,
+        undelivered_contended=undelivered_contended,
         wasted_listens=wasted_listens,
         deliveries=deliveries,
         distinct_channels_used=len(channels),

@@ -13,8 +13,9 @@ opt-in on the engine and the trace can be bounded.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, MutableSequence
 
 from repro.sim.actions import Envelope
 from repro.types import Channel, NodeId, Slot
@@ -58,11 +59,25 @@ class EventTrace:
     ----------
     max_slots:
         If set, events from slots beyond this bound are dropped (the
-        engine keeps running; only the record is truncated).
+        engine keeps running; only the record is truncated).  Keeps the
+        *head* of the run.
+    max_events:
+        If set, the trace holds at most this many events, discarding
+        the oldest as new ones arrive (ring-buffer semantics, O(1) per
+        record).  Keeps the *tail* of the run — the right bound for
+        "capture the end of a long run that misbehaved".  Composable
+        with ``max_slots``.
     """
 
     max_slots: int | None = None
-    events: list[ChannelEvent] = field(default_factory=list)
+    max_events: int | None = None
+    events: MutableSequence[ChannelEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None:
+            if self.max_events < 1:
+                raise ValueError("max_events must be positive")
+            self.events = deque(self.events, maxlen=self.max_events)
 
     def record(self, event: ChannelEvent) -> None:
         if self.max_slots is not None and event.slot >= self.max_slots:

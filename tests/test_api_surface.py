@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.games",
     "repro.lint",
     "repro.lint.rules",
+    "repro.obs",
     "repro.sim",
     "repro.spectrum",
 ]

@@ -80,6 +80,7 @@ class TestReadme:
             "repro.spectrum",
             "repro.apps",
             "repro.lint",
+            "repro.obs",
         ):
             assert package in readme, f"{package} missing from README"
 

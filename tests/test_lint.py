@@ -231,6 +231,43 @@ class TestR4ProtocolIsolation:
         )
         assert "R4" not in rules_hit(findings)
 
+    def test_obs_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.probes import CountersProbe
+            from repro.sim.protocol import Protocol
+
+            class Watching(Protocol):
+                def begin_slot(self, slot):
+                    return None
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/core/watching.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_obs_import_in_runner_module_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.telemetry import run_record
+            from repro.sim.engine import build_engine
+
+            def run(network, factory, seed, sink):
+                result = build_engine(network, factory, seed=seed).run(100)
+                sink.emit(run_record(
+                    protocol="p", seed=seed, network=network,
+                    slots=result.slots, outcome="completed",
+                ))
+                return result
+            """,
+            name="repro/core/runners.py",
+        )
+        assert "R4" not in rules_hit(findings)
+
     def test_engine_internals_access_flagged(self, tmp_path):
         findings = lint_snippet(
             tmp_path,

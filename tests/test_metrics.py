@@ -62,6 +62,87 @@ class TestComputeMetrics:
         metrics = compute_metrics(EventTrace())
         assert metrics.slots_observed == 0
         assert metrics.delivery_efficiency == 0.0
+        assert metrics.collision_rate == 0.0
+
+
+def jammed_trace() -> EventTrace:
+    """A trace in which every contended slot was jammed into silence."""
+    trace = EventTrace()
+    init = InitPayload(origin=0)
+    # Slot 0: two contenders, jammed to nothing; listener 3 also jammed.
+    trace.record(
+        ChannelEvent(
+            0,
+            1,
+            broadcasters=(0, 2),
+            listeners=(1, 3),
+            winner=None,
+            jammed_nodes=frozenset({0, 2, 3}),
+        )
+    )
+    # Slot 1: clean single-broadcaster delivery to node 1.
+    trace.record(
+        ChannelEvent(1, 1, broadcasters=(0,), listeners=(1,), winner=Envelope(0, init))
+    )
+    return trace
+
+
+class TestJammedRunMetrics:
+    def test_undelivered_contended_counted(self):
+        metrics = compute_metrics(jammed_trace())
+        assert metrics.collisions == 1
+        assert metrics.undelivered_contended == 1
+        assert metrics.successes == 1
+
+    def test_collision_rate_counts_jammed_contention(self):
+        # The historical successes-only denominator reported 1/1 here
+        # despite half the active channel-slots being contended-and-lost;
+        # the corrected denominator is successes + undelivered contended.
+        metrics = compute_metrics(jammed_trace())
+        assert metrics.collision_rate == 0.5
+
+    def test_all_contention_jammed_still_reports_rate(self):
+        trace = EventTrace()
+        trace.record(
+            ChannelEvent(
+                0,
+                1,
+                broadcasters=(0, 2),
+                listeners=(1,),
+                winner=None,
+                jammed_nodes=frozenset({0, 1, 2}),
+            )
+        )
+        metrics = compute_metrics(trace)
+        assert metrics.successes == 0
+        assert metrics.collision_rate == 1.0
+
+    def test_jammed_listeners_waste_their_slots(self):
+        metrics = compute_metrics(jammed_trace())
+        # Slot 0: nodes 1 and 3 heard nothing (3 jammed); slot 1: node 1 heard.
+        assert metrics.deliveries == 1
+        assert metrics.wasted_listens == 2
+        assert metrics.delivery_efficiency == 1 / 3
+
+    def test_jammed_overlapping_listeners_on_delivered_slot(self):
+        # A winner exists but one listener is jammed: the jammed listener
+        # wastes the slot, the live one is delivered to.
+        trace = EventTrace()
+        init = InitPayload(origin=0)
+        trace.record(
+            ChannelEvent(
+                0,
+                2,
+                broadcasters=(0,),
+                listeners=(1, 2),
+                winner=Envelope(0, init),
+                jammed_nodes=frozenset({2}),
+            )
+        )
+        metrics = compute_metrics(trace)
+        assert metrics.deliveries == 1
+        assert metrics.wasted_listens == 1
+        assert metrics.undelivered_contended == 0
 
 
 class TestChannelUtilization:

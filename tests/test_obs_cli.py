@@ -1,0 +1,116 @@
+"""Tests for the telemetry CLI surfaces.
+
+Covers the standalone ``repro-obs`` entry point, the ``python -m repro
+obs`` subcommand, and the ``--telemetry`` flag on ``run``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.obs.cli import main as obs_main
+from repro.obs.telemetry import TelemetrySink, read_telemetry, run_record
+from repro.sim.channels import Network
+from repro.assignment import shared_core
+from repro.sim.rng import derive_rng
+
+
+@pytest.fixture
+def telemetry_file(tmp_path):
+    rng = derive_rng(1, "test-obs-cli")
+    network = Network.static(shared_core(8, 6, 2, rng))
+    path = tmp_path / "telemetry.jsonl"
+    with TelemetrySink(path) as sink:
+        for seed in range(4):
+            sink.emit(
+                run_record(
+                    protocol="cogcast",
+                    seed=seed,
+                    network=network,
+                    slots=12 + seed,
+                    outcome="completed" if seed % 2 == 0 else "budget",
+                )
+            )
+    return path
+
+
+class TestObsMain:
+    def test_validate_clean(self, telemetry_file, capsys):
+        assert obs_main(["validate", str(telemetry_file)]) == 0
+        assert "4 records valid" in capsys.readouterr().out
+
+    def test_validate_flags_problems(self, telemetry_file, capsys):
+        with open(telemetry_file, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"schema": 1, "kind": "run"}) + "\n")
+        assert obs_main(["validate", str(telemetry_file)]) == 1
+        out = capsys.readouterr().out
+        assert "not valid JSON" in out
+        assert f"{telemetry_file}:6" in out
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert obs_main(["validate", str(tmp_path / "absent.jsonl")]) == 1
+
+    def test_summary(self, telemetry_file, capsys):
+        assert obs_main(["summary", str(telemetry_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cogcast: 4 runs" in out
+        assert "2 budget" in out and "2 completed" in out
+
+    def test_tail_limit(self, telemetry_file, capsys):
+        assert obs_main(["tail", str(telemetry_file), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["seed"] for line in lines] == [2, 3]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            obs_main([])
+
+
+class TestReproObsSubcommand:
+    def test_validate_via_main_cli(self, telemetry_file, capsys):
+        assert repro_main(["obs", "validate", str(telemetry_file)]) == 0
+        assert "4 records valid" in capsys.readouterr().out
+
+    def test_summary_via_main_cli(self, telemetry_file, capsys):
+        assert repro_main(["obs", "summary", str(telemetry_file)]) == 0
+        assert "cogcast" in capsys.readouterr().out
+
+    def test_tail_via_main_cli(self, telemetry_file, capsys):
+        assert repro_main(["obs", "tail", str(telemetry_file), "-n", "1"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
+class TestRunTelemetryFlag:
+    def test_run_appends_experiment_manifest(self, tmp_path, capsys):
+        path = tmp_path / "telemetry.jsonl"
+        assert (
+            repro_main(
+                [
+                    "run",
+                    "E16",
+                    "--fast",
+                    "--trials",
+                    "2",
+                    "--telemetry",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        records = read_telemetry(path)
+        assert len(records) == 1
+        assert records[0]["kind"] == "experiment"
+        assert records[0]["experiment"] == "E16"
+        assert records[0]["fast"] is True
+        assert records[0]["trials"] == 2
+        # The experiment output itself still prints.
+        assert "E16" in capsys.readouterr().out
+
+    def test_run_without_flag_writes_nothing(self, tmp_path, capsys):
+        assert repro_main(["run", "E16", "--fast", "--trials", "2"]) == 0
+        assert not list(tmp_path.iterdir())

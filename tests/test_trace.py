@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.actions import Envelope
 from repro.sim.trace import ChannelEvent, EventTrace
 
@@ -83,3 +85,46 @@ class TestEventTrace:
         trace = EventTrace()
         trace.record(event(slot=3))
         assert [e.slot for e in trace] == [3]
+
+
+class TestMaxEvents:
+    def test_stays_within_bound(self):
+        trace = EventTrace(max_events=3)
+        for slot in range(10):
+            trace.record(event(slot=slot))
+        assert len(trace) == 3
+
+    def test_keeps_newest_events(self):
+        trace = EventTrace(max_events=3)
+        for slot in range(10):
+            trace.record(event(slot=slot))
+        assert [e.slot for e in trace] == [7, 8, 9]
+        assert trace.slots() == {7, 8, 9}
+
+    def test_under_bound_keeps_everything(self):
+        trace = EventTrace(max_events=5)
+        for slot in range(3):
+            trace.record(event(slot=slot))
+        assert [e.slot for e in trace] == [0, 1, 2]
+
+    def test_composes_with_max_slots(self):
+        # max_slots keeps the head of the run, max_events then keeps the
+        # newest of what survives.
+        trace = EventTrace(max_slots=4, max_events=2)
+        for slot in range(10):
+            trace.record(event(slot=slot))
+        assert [e.slot for e in trace] == [2, 3]
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            EventTrace(max_events=0)
+
+    def test_queries_still_work(self):
+        trace = EventTrace(max_events=2)
+        trace.record(event(slot=0, winner=None))
+        trace.record(event(slot=1))
+        trace.record(event(slot=2))
+        assert len(list(trace.deliveries())) == 2
+        assert len(trace.events_in_slot(1)) == 1
+        found = trace.first_delivery_to(1)
+        assert found is not None and found.slot == 1
