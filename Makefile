@@ -1,29 +1,39 @@
 # Convenience targets for the reproduction repository.
+#
+# Every target that runs repository code sets PYTHONPATH=src, matching
+# the tier-1 command (`PYTHONPATH=src python -m pytest -x -q`), so none
+# of them silently require an installed package.
 
 PYTHON ?= python
+JOBS ?= 1
 
-.PHONY: install test lint bench experiments report examples obs-demo all
+.PHONY: install test lint bench bench-save experiments report examples obs-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Record one benchmark datapoint in the perf trajectory (BENCH_*.json).
+bench-save:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_$$(date +%Y%m%d).json
 
 experiments:
-	$(PYTHON) -m repro run all
+	PYTHONPATH=src $(PYTHON) -m repro run all --jobs $(JOBS)
 
 report:
-	$(PYTHON) -m repro report --output experiments_report.md
+	PYTHONPATH=src $(PYTHON) -m repro report --output experiments_report.md --jobs $(JOBS)
 
 examples:
-	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+	for script in examples/*.py; do PYTHONPATH=src $(PYTHON) $$script || exit 1; done
 
 obs-demo:
 	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --telemetry telemetry.jsonl

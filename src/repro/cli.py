@@ -3,8 +3,8 @@
 Usage::
 
     repro-experiments list
-    repro-experiments run E01 [--trials N] [--seed S] [--fast] [--telemetry F]
-    repro-experiments run all [--trials N] [--seed S] [--fast] [--telemetry F]
+    repro-experiments run E01 [--trials N] [--seed S] [--fast] [--jobs N] [--telemetry F]
+    repro-experiments run all [--trials N] [--seed S] [--fast] [--jobs N] [--telemetry F]
     repro-experiments lint [paths ...] [--format json] [--select R4,R6]
     repro-experiments obs validate|summary|tail telemetry.jsonl [...]
 
@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="shrunken sweeps (CI-sized)"
     )
     run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial loops (0 = all cores); results "
+        "are identical to --jobs 1",
+    )
+    run_parser.add_argument(
         "--telemetry",
         default=None,
         metavar="FILE",
@@ -60,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--trials", type=int, default=None)
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for trial loops (0 = all cores); results "
+        "are identical to --jobs 1",
+    )
     report_parser.add_argument(
         "--telemetry", default=None, metavar="FILE",
         help="append one JSONL manifest per experiment to FILE",
@@ -135,6 +151,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{experiment_id}  {spec.title}")
             print(f"      {spec.claim}")
         return 0
+    if args.command in ("run", "report") and args.jobs != 1:
+        from repro.perf import set_default_jobs
+
+        set_default_jobs(args.jobs)
     if args.command == "run":
         sink = _open_sink(args.telemetry)
         try:

@@ -8,13 +8,13 @@ proportional fit tight.
 
 from __future__ import annotations
 
-import random
+from functools import partial
 
 from repro.analysis.fitting import fit_linear
 from repro.analysis.theory import lg
 from repro.assignment import shared_core
 from repro.core import run_local_broadcast
-from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.harness import Table, map_trials, mean, trial_seeds
 from repro.experiments.registry import register
 from repro.sim import Network
 from repro.sim.rng import derive_rng
@@ -52,10 +52,10 @@ def run(trials: int = 20, seed: int = 0, fast: bool = False) -> Table:
     predictors: list[float] = []
     means: list[float] = []
     for n in ns:
-        samples = [
-            measure_cogcast_slots(n, c, k, trial_seed)
-            for trial_seed in trial_seeds(seed, f"E01-{n}", trials)
-        ]
+        samples = map_trials(
+            partial(measure_cogcast_slots, n, c, k),
+            trial_seeds(seed, f"E01-{n}", trials),
+        )
         predictor = (c / k) * lg(n)
         sample_mean = mean(samples)
         predictors.append(predictor)

@@ -7,10 +7,12 @@ doubles.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.fitting import fit_proportional
 from repro.analysis.theory import lg
 from repro.experiments.e01_cogcast_scaling_n import measure_cogcast_slots
-from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.harness import Table, map_trials, mean, trial_seeds
 from repro.experiments.registry import register
 
 
@@ -28,10 +30,10 @@ def run(trials: int = 20, seed: int = 0, fast: bool = False) -> Table:
     predictors: list[float] = []
     means: list[float] = []
     for k in ks:
-        samples = [
-            measure_cogcast_slots(n, c, k, trial_seed)
-            for trial_seed in trial_seeds(seed, f"E03-{k}", trials)
-        ]
+        samples = map_trials(
+            partial(measure_cogcast_slots, n, c, k),
+            trial_seeds(seed, f"E03-{k}", trials),
+        )
         predictor = (c / k) * lg(n)
         sample_mean = mean(samples)
         predictors.append(predictor)

@@ -9,9 +9,11 @@ multiple of ``3n`` slots (O(n) three-slot steps).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.assignment import shared_core
 from repro.core import SumAggregator, run_data_aggregation
-from repro.experiments.harness import Table, mean, trial_seeds
+from repro.experiments.harness import Table, map_trials, mean, trial_seeds
 from repro.experiments.registry import register
 from repro.sim import Network
 from repro.sim.rng import derive_rng
@@ -57,10 +59,10 @@ def run(trials: int = 10, seed: int = 0, fast: bool = False) -> Table:
 
     rows = []
     for n in ns:
-        samples = [
-            measure_cogcomp(n, c, k, trial_seed)
-            for trial_seed in trial_seeds(seed, f"E05-{n}", trials)
-        ]
+        samples = map_trials(
+            partial(measure_cogcomp, n, c, k),
+            trial_seeds(seed, f"E05-{n}", trials),
+        )
         phase4_mean = mean([s["phase4"] for s in samples])
         total_mean = mean([s["total"] for s in samples])
         rows.append(

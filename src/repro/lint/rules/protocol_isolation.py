@@ -4,11 +4,12 @@ The paper's model gives a node nothing but its local channel labels, its
 identity, ``(n, c, k)``, and private coins.  In code that contract is
 the :class:`repro.sim.protocol.NodeView`.  A module that *defines* a
 :class:`~repro.sim.protocol.Protocol` subclass is node-algorithm code
-and must therefore never import the engine, the channel world-model, or
-the observability layer (:mod:`repro.obs` probes see engine-side ground
+and must therefore never import the engine, the channel world-model, the
+observability layer (:mod:`repro.obs` probes see engine-side ground
 truth — physical channels, global winner identity — which a node must
-not consult) — the runner harnesses that build engines and attach
-probes live in sibling ``runners`` modules.  Inside a protocol class body, reaching into another object's
+not consult), or the performance layer (:mod:`repro.perf` is harness
+machinery for fanning out whole trials) — the runner harnesses that
+build engines and attach probes live in sibling ``runners`` modules.  Inside a protocol class body, reaching into another object's
 underscore-prefixed attributes is flagged for the same reason: it is how
 engine internals (collision state, physical channel maps) leak into a
 node's decisions.
@@ -23,8 +24,16 @@ from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-#: Modules a protocol-defining module may never import.
-FORBIDDEN_MODULES = ("repro.sim.engine", "repro.sim.channels", "repro.obs")
+#: Modules a protocol-defining module may never import.  ``repro.perf``
+#: is harness-side machinery like ``repro.obs``: a node that could fan
+#: out process pools or consult executor state would be reaching outside
+#: its NodeView.
+FORBIDDEN_MODULES = (
+    "repro.sim.engine",
+    "repro.sim.channels",
+    "repro.obs",
+    "repro.perf",
+)
 
 #: Engine/world names re-exported by ``repro.sim`` — importing them from
 #: the package facade is the same violation.

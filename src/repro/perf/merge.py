@@ -1,0 +1,59 @@
+"""Merging per-worker JSONL telemetry into one validated stream.
+
+A :class:`repro.obs.telemetry.TelemetrySink` is a single append-only
+file handle, which worker processes must not share.  The supported
+pattern is: give each worker its own file (via
+:func:`worker_telemetry_path`), let it open a private sink there, and
+after the pool drains, fold every worker file into the main sink with
+:func:`merge_telemetry`.  Records are re-validated on the way through,
+so a merged telemetry file is well-formed by construction, exactly
+like a directly-written one.  Merge order is the caller's path order
+(deterministic — pass paths in worker index order), never completion
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.telemetry import TelemetrySink, read_telemetry
+
+
+def worker_telemetry_path(base: str | Path, index: int) -> Path:
+    """The conventional per-worker telemetry file next to *base*.
+
+    ``telemetry.jsonl`` becomes ``telemetry.worker3.jsonl`` for worker
+    index 3 — distinct per worker, easy to glob, safe to merge.
+    """
+    base = Path(base)
+    return base.with_name(f"{base.stem}.worker{index}{base.suffix}")
+
+
+def merge_telemetry(
+    paths: Iterable[str | Path],
+    sink: TelemetrySink,
+    *,
+    strict: bool = True,
+    remove: bool = False,
+) -> int:
+    """Fold worker telemetry files into *sink*; return records merged.
+
+    Every record is re-validated by the sink's own ``emit``.  Missing
+    files are skipped (a worker that ran no instrumented work writes
+    nothing).  With ``remove=True`` each worker file is deleted after
+    its records are safely through the sink.
+    """
+    merged = 0
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        records: list[dict[str, Any]] = read_telemetry(path, strict=strict)
+        for record in records:
+            sink.emit(record)
+        merged += len(records)
+        if remove:
+            os.remove(path)
+    return merged

@@ -26,7 +26,9 @@ from __future__ import annotations
 import abc
 import itertools
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable
 
 from repro.types import Channel, InvalidAssignmentError, LocalLabel, NodeId
@@ -68,12 +70,31 @@ class ChannelAssignment:
         """Translate *node*'s local *label* to a physical channel."""
         return self.channels[node][label]
 
+    @cached_property
+    def _label_maps(self) -> tuple[dict[Channel, LocalLabel], ...]:
+        """Per-node reverse map (channel -> label), built once on demand.
+
+        The dataclass is frozen but not slotted, so ``cached_property``
+        can stash the tables in ``__dict__`` without tripping the
+        frozen ``__setattr__``; equality and hashing still consider
+        only the declared fields.
+        """
+        return tuple(
+            {channel: label for label, channel in enumerate(chans)}
+            for chans in self.channels
+        )
+
     def label_of(self, node: NodeId, channel: Channel) -> LocalLabel:
-        """Translate a physical *channel* to *node*'s local label.
+        """Translate a physical *channel* to *node*'s local label, O(1).
 
         Raises ``ValueError`` if the node cannot tune the channel.
         """
-        return self.channels[node].index(channel)
+        try:
+            return self._label_maps[node][channel]
+        except KeyError:
+            raise ValueError(
+                f"node {node} cannot tune channel {channel}"
+            ) from None
 
     def channel_set(self, node: NodeId) -> frozenset[Channel]:
         return frozenset(self.channels[node])
@@ -200,6 +221,18 @@ class DynamicSchedule(AssignmentSchedule):
     assignment with the same ``(n, c, k)`` shape.  Generated assignments
     are cached so that re-querying a slot (e.g. by a trace consumer) is
     consistent.
+
+    Parameters
+    ----------
+    max_cache:
+        When set, the cache holds at most this many assignments and
+        evicts the least recently used one as new slots are generated
+        — the right choice for long runs, which otherwise leak one
+        assignment per slot.  Only safe when *generator* is a pure
+        function of the slot index (the contract for deterministic
+        replay anyway): a generator that draws from a shared, stateful
+        RNG would regenerate an evicted slot differently.  ``None``
+        (the default) keeps every assignment forever.
     """
 
     def __init__(
@@ -207,22 +240,36 @@ class DynamicSchedule(AssignmentSchedule):
         generator: Callable[[int], ChannelAssignment],
         *,
         validate_each: bool = False,
+        max_cache: int | None = None,
     ) -> None:
+        if max_cache is not None and max_cache < 1:
+            raise ValueError("max_cache must be positive")
         self._generator = generator
         self._validate_each = validate_each
-        self._cache: dict[int, ChannelAssignment] = {}
+        self._max_cache = max_cache
+        self._cache: OrderedDict[int, ChannelAssignment] = OrderedDict()
         first = self.at(0)
         self._num_nodes = first.num_nodes
         self._channels_per_node = first.channels_per_node
         self._overlap = first.overlap
 
     def at(self, slot: int) -> ChannelAssignment:
-        if slot not in self._cache:
-            assignment = self._generator(slot)
-            if self._validate_each:
-                assignment.validate()
-            self._cache[slot] = assignment
-        return self._cache[slot]
+        cache = self._cache
+        if slot in cache:
+            cache.move_to_end(slot)
+            return cache[slot]
+        assignment = self._generator(slot)
+        if self._validate_each:
+            assignment.validate()
+        cache[slot] = assignment
+        if self._max_cache is not None and len(cache) > self._max_cache:
+            cache.popitem(last=False)
+        return assignment
+
+    @property
+    def cache_size(self) -> int:
+        """Number of assignments currently held in the cache."""
+        return len(self._cache)
 
     @property
     def num_nodes(self) -> int:
@@ -259,6 +306,11 @@ class Network:
         None`` check per translation when detached.
         """
         self._probe = probe
+
+    @property
+    def translation_probe(self) -> object | None:
+        """The attached translation observer, if any (read-only)."""
+        return self._probe
 
     @classmethod
     def static(cls, assignment: ChannelAssignment, *, validate: bool = True) -> "Network":

@@ -21,6 +21,14 @@ and, for node-observing probes, per action/outcome) and a *profiler*
 absent, so un-instrumented runs keep their benchmark numbers.  The
 engine deliberately does not import :mod:`repro.obs` (the dependency
 points the other way); any object with the right hooks works.
+
+Performance: :meth:`Engine.run` detects the common configuration —
+static schedule, no jammer, the paper's single-winner collision model,
+no instrumentation — and switches to a specialized step kernel that
+precomputes the label→channel tables and skips every hook, while
+producing bit-identical results (same outcomes, same RNG stream, same
+errors).  See :meth:`Engine._fast_path_eligible` and
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -32,12 +40,12 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.sim.actions import Action, Broadcast, Envelope, Idle, Listen, SlotOutcome
 from repro.sim.adversary import Jammer, NullJammer
-from repro.sim.channels import Network
+from repro.sim.channels import Network, StaticSchedule
 from repro.sim.collision import CollisionModel, SingleWinnerCollision
 from repro.sim.protocol import NodeView, Protocol
 from repro.sim.rng import derive_rng
 from repro.sim.trace import ChannelEvent, EventTrace
-from repro.types import Channel, NodeId, SimulationError
+from repro.types import Channel, NodeId, ProtocolViolationError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - types only; sim must not import obs
     from repro.obs.probe import SlotProbe
@@ -88,6 +96,13 @@ class Engine:
         Optional profiler (see :mod:`repro.obs.profiler`).  Populates
         the ``engine.collect`` / ``engine.resolve`` / ``engine.deliver``
         wall-time sections.
+    fast_path:
+        Allow :meth:`run` to use the specialized step kernel when the
+        configuration permits (see :meth:`_fast_path_eligible`).  The
+        kernel is bit-identical to the general one — same outcomes,
+        same RNG stream, same errors — so this is purely a performance
+        switch; set False to force the general kernel (used by the
+        equivalence tests).
     """
 
     def __init__(
@@ -101,6 +116,7 @@ class Engine:
         jammer: Jammer | None = None,
         probe: "SlotProbe | None" = None,
         profiler: "Profiler | None" = None,
+        fast_path: bool = True,
     ) -> None:
         if len(protocols) != network.num_nodes:
             raise ValueError(
@@ -117,6 +133,9 @@ class Engine:
         self._node_probe: "SlotProbe | None" = None
         self.probe = probe
         self.slot = 0
+        self.fast_path = fast_path
+        #: Whether the most recent :meth:`run` used the fast kernel.
+        self.fast_path_engaged = False
 
     @property
     def probe(self) -> "SlotProbe | None":
@@ -272,6 +291,147 @@ class Engine:
 
         self.slot += 1
 
+    def _fast_path_eligible(self) -> bool:
+        """Whether :meth:`run` may use the specialized step kernel.
+
+        The common benchmark configuration — a static assignment, no
+        jamming, the paper's single-winner contention model, and no
+        instrumentation — pays for generality it never uses: per-action
+        ``schedule.at`` lookups, the jammer query, and a handful of
+        ``is None`` hook checks every slot.  The fast kernel elides all
+        of that.  Exact types are required (not ``isinstance``) because
+        a subclass overriding any of these hooks would change the
+        semantics the kernel hard-codes.
+        """
+        return (
+            self.fast_path
+            and self.trace is None
+            and self._probe is None
+            and self.profiler is None
+            and type(self.jammer) is NullJammer
+            and type(self.collision) is SingleWinnerCollision
+            and type(self.network) is Network
+            and type(self.network.schedule) is StaticSchedule
+            and self.network.translation_probe is None
+        )
+
+    def _run_fast(
+        self, max_slots: int, condition: Callable[["Engine"], bool]
+    ) -> tuple[int, bool]:
+        """The specialized run loop; bit-identical to the general path.
+
+        Equivalence invariants (guarded by tests/test_engine_fastpath.py):
+
+        - label translation uses a precomputed per-node table from the
+          static assignment, with the same bounds check and error as
+          :meth:`Network.physical`;
+        - channels resolve in sorted order and the collision RNG is
+          consulted exactly when two or more nodes broadcast on one
+          channel, via the same ``rng.choice`` call the general path's
+          :class:`SingleWinnerCollision` makes — so the RNG stream is
+          identical draw for draw;
+        - outcomes are constructed with the same field values and
+          delivered in the same order.
+
+        Per-slot scratch dicts are allocated once and cleared, not
+        rebuilt, which is safe because nothing retains the containers —
+        outcomes hold the (immutable) actions and envelopes themselves.
+        """
+        protocols = self.protocols
+        table = self.network.assignment_at(0).channels
+        num_labels = self.network.channels_per_node
+        choice = self.rng.choice
+        # Hoisted constructors/sentinels: global lookups are not free at
+        # ~one SlotOutcome per node per slot.
+        outcome_cls = SlotOutcome
+        envelope_cls = Envelope
+        idle_cls = Idle
+        broadcast_cls = Broadcast
+        listen_cls = Listen
+        broadcasters: dict[Channel, list[tuple[NodeId, Action, Envelope]]] = {}
+        listeners: dict[Channel, list[tuple[NodeId, Action]]] = {}
+        idles: list[tuple[NodeId, Action]] = []
+        outcomes: dict[NodeId, SlotOutcome] = {}
+        executed = 0
+        completed = condition(self)
+        while not completed and executed < max_slots:
+            slot = self.slot
+            broadcasters.clear()
+            listeners.clear()
+            idles.clear()
+            outcomes.clear()
+            for node, protocol in enumerate(protocols):
+                if protocol.done:
+                    continue
+                action = protocol.begin_slot(slot)
+                cls = action.__class__
+                if cls is idle_cls:
+                    idles.append((node, action))
+                    continue
+                if cls is not broadcast_cls and cls is not listen_cls:
+                    # Action subclass: route by isinstance, exactly as
+                    # the general kernel would.
+                    if isinstance(action, idle_cls):
+                        idles.append((node, action))
+                        continue
+                    cls = broadcast_cls if isinstance(action, broadcast_cls) else listen_cls
+                label = action.label
+                if not 0 <= label < num_labels:
+                    raise ProtocolViolationError(
+                        f"node {node} used local label {label}; "
+                        f"valid labels are 0..{num_labels - 1}"
+                    )
+                channel = table[node][label]
+                if cls is broadcast_cls:
+                    entry = (node, action, envelope_cls(node, action.payload))
+                    bucket = broadcasters.get(channel)
+                    if bucket is None:
+                        broadcasters[channel] = [entry]
+                    else:
+                        bucket.append(entry)
+                else:
+                    pair = (node, action)
+                    pairs = listeners.get(channel)
+                    if pairs is None:
+                        listeners[channel] = [pair]
+                    else:
+                        pairs.append(pair)
+
+            for channel in sorted(broadcasters.keys() | listeners.keys()):
+                channel_broadcasters = broadcasters.get(channel)
+                if channel_broadcasters is None:
+                    winner = None
+                elif len(channel_broadcasters) == 1:
+                    # Single participant: no contention, no RNG draw —
+                    # exactly what SingleWinnerCollision.resolve does.
+                    node, action, winner = channel_broadcasters[0]
+                    outcomes[node] = outcome_cls(slot, action, None, True)
+                else:
+                    winner = choice(
+                        [envelope for _, _, envelope in channel_broadcasters]
+                    )
+                    for node, action, envelope in channel_broadcasters:
+                        if envelope is winner:
+                            outcomes[node] = outcome_cls(slot, action, None, True)
+                        else:
+                            outcomes[node] = outcome_cls(slot, action, winner, False)
+                channel_listeners = listeners.get(channel)
+                if channel_listeners is not None:
+                    for node, action in channel_listeners:
+                        outcomes[node] = outcome_cls(slot, action, winner)
+
+            for node, outcome in outcomes.items():
+                protocols[node].end_slot(slot, outcome)
+            # Idle nodes still get an outcome, delivered after the
+            # channel participants exactly as in the general kernel.
+            for node, action in idles:
+                protocols[node].end_slot(slot, outcome_cls(slot, action))
+
+            self.slot += 1
+            executed += 1
+            completed = condition(self)
+        return executed, completed
+
     def run(
         self,
         max_slots: int,
@@ -292,6 +452,12 @@ class Engine:
         require_completion:
             When True, raise :class:`SimulationError` if the budget runs
             out before the stop condition is met.
+
+        When the configuration allows (static schedule, no jammer, the
+        default collision model, no instrumentation — see
+        :meth:`_fast_path_eligible`), the run uses a specialized kernel
+        that produces bit-identical results faster; whether it engaged
+        is recorded in :attr:`fast_path_engaged`.
         """
         condition = stop_when if stop_when is not None else (lambda engine: engine.all_done)
         probe = self._probe
@@ -301,12 +467,16 @@ class Engine:
                 num_channels=self.network.channels_per_node,
                 overlap=self.network.overlap,
             )
-        executed = 0
-        completed = condition(self)
-        while not completed and executed < max_slots:
-            self.step()
-            executed += 1
+        self.fast_path_engaged = self._fast_path_eligible()
+        if self.fast_path_engaged:
+            executed, completed = self._run_fast(max_slots, condition)
+        else:
+            executed = 0
             completed = condition(self)
+            while not completed and executed < max_slots:
+                self.step()
+                executed += 1
+                completed = condition(self)
         if probe is not None:
             probe.on_run_end(executed)
         if require_completion and not completed:
@@ -340,6 +510,7 @@ def build_engine(
     jammer: Jammer | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    fast_path: bool = True,
 ) -> Engine:
     """Convenience constructor: build views, protocols, and the engine.
 
@@ -358,4 +529,5 @@ def build_engine(
         jammer=jammer,
         probe=probe,
         profiler=profiler,
+        fast_path=fast_path,
     )

@@ -131,6 +131,34 @@ class TestSchedules:
         with pytest.raises(InvalidAssignmentError):
             DynamicSchedule(generate_bad, validate_each=True)
 
+    def test_dynamic_schedule_cache_bound_evicts_lru(self):
+        calls = []
+
+        def generate(slot: int) -> ChannelAssignment:
+            calls.append(slot)
+            return simple_assignment()
+
+        schedule = DynamicSchedule(generate, max_cache=2)
+        schedule.at(0)
+        schedule.at(1)
+        schedule.at(0)  # refresh slot 0: slot 1 is now least-recent
+        schedule.at(2)  # evicts slot 1
+        assert schedule.cache_size == 2
+        schedule.at(0)  # still cached
+        assert calls.count(0) == 1
+        schedule.at(1)  # evicted: regenerated
+        assert calls.count(1) == 2
+
+    def test_dynamic_schedule_unbounded_by_default(self):
+        schedule = DynamicSchedule(lambda slot: simple_assignment())
+        for slot in range(50):
+            schedule.at(slot)
+        assert schedule.cache_size == 50
+
+    def test_dynamic_schedule_cache_bound_validated(self):
+        with pytest.raises(ValueError):
+            DynamicSchedule(lambda slot: simple_assignment(), max_cache=0)
+
 
 class TestNetwork:
     def test_static_constructor_validates(self):

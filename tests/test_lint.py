@@ -268,6 +268,37 @@ class TestR4ProtocolIsolation:
         )
         assert "R4" not in rules_hit(findings)
 
+    def test_perf_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.perf import pmap_trials
+            from repro.sim.protocol import Protocol
+
+            class Fanning(Protocol):
+                def begin_slot(self, slot):
+                    return None
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/core/fanning.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_perf_import_in_harness_module_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.perf import pmap_trials
+
+            def sweep(measure, seeds, jobs):
+                return pmap_trials(measure, [(s,) for s in seeds], jobs=jobs)
+            """,
+            name="repro/experiments/sweep.py",
+        )
+        assert "R4" not in rules_hit(findings)
+
     def test_engine_internals_access_flagged(self, tmp_path):
         findings = lint_snippet(
             tmp_path,
