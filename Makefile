@@ -7,7 +7,7 @@
 PYTHON ?= python
 JOBS ?= 1
 
-.PHONY: install test lint bench bench-save experiments report examples obs-demo all
+.PHONY: install test lint bench bench-save experiments report examples obs-demo trace-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,5 +39,14 @@ obs-demo:
 	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --telemetry telemetry.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro obs validate telemetry.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro obs summary telemetry.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs anomalies telemetry.jsonl
+
+# Export Chrome-trace/Perfetto timelines for both protocols (load the
+# JSON at ui.perfetto.dev or chrome://tracing).
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro obs export-trace --protocol cogcast \
+		--n 12 --c 6 --k 2 --seed 0 -o trace_cogcast.json
+	PYTHONPATH=src $(PYTHON) -m repro obs export-trace --protocol cogcomp \
+		--n 12 --c 6 --k 2 --seed 0 -o trace_cogcomp.json --spans spans_cogcomp.json
 
 all: lint test bench

@@ -6,7 +6,8 @@ Usage::
     repro-experiments run E01 [--trials N] [--seed S] [--fast] [--jobs N] [--telemetry F]
     repro-experiments run all [--trials N] [--seed S] [--fast] [--jobs N] [--telemetry F]
     repro-experiments lint [paths ...] [--format json] [--select R4,R6]
-    repro-experiments obs validate|summary|tail telemetry.jsonl [...]
+    repro-experiments obs validate|summary|tail|anomalies telemetry.jsonl [...]
+    repro-experiments obs export-trace --protocol cogcomp -o trace.json
 
 (Equivalently ``python -m repro ...``.  ``lint`` is also installed as
 the standalone ``repro-lint`` console script (see :mod:`repro.lint`)
@@ -82,20 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     obs_parser = subparsers.add_parser(
-        "obs", help="validate / summarize / tail telemetry files"
+        "obs", help="inspect telemetry files / export causal traces"
     )
-    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
-    for name, help_text in (
-        ("validate", "schema-check every record; exit 1 on problems"),
-        ("summary", "grouped digest of runs / experiments / campaigns"),
-        ("tail", "pretty-print the newest records"),
-    ):
-        obs_command = obs_sub.add_parser(name, help=help_text)
-        obs_command.add_argument("files", nargs="+", help="telemetry JSONL files")
-        if name == "tail":
-            obs_command.add_argument(
-                "-n", "--limit", type=int, default=10, help="records to show"
-            )
+    from repro.obs.cli import add_subcommands as add_obs_subcommands
+
+    add_obs_subcommands(obs_parser.add_subparsers(dest="obs_command", required=True))
 
     lint_parser = subparsers.add_parser(
         "lint", help="check sources against the model-soundness rules"
@@ -193,9 +185,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "obs":
         from repro.obs import cli as obs_cli
 
-        return obs_cli.run(
-            args.obs_command, args.files, limit=getattr(args, "limit", 10)
-        )
+        return obs_cli.dispatch(args)
     return 2
 
 

@@ -11,10 +11,13 @@ defining :class:`~repro.sim.protocol.Protocol` subclasses must never
 import the engine or the channel world-model.
 
 Every runner optionally takes observability instruments from
-:mod:`repro.obs`: a *probe* and *profiler* handed to the engine, and a
-*telemetry* sink that receives one ``kind="run"`` manifest per call —
-emitted even when ``require_completion`` raises, so failed runs leave a
-record.
+:mod:`repro.obs`: a *probe* and *profiler* handed to the engine, a
+*spans* probe (:class:`repro.obs.spans.SpanProbe`) for causal tracing,
+*watchdogs* (:class:`repro.obs.watchdog.WatchdogProbe`) that check the
+paper's invariants live, and a *telemetry* sink that receives one
+``kind="run"`` manifest per call — emitted even when
+``require_completion`` raises, so failed runs leave a record.  Watchdog
+anomalies flow into the same sink as ``kind="anomaly"`` records.
 """
 
 from __future__ import annotations
@@ -25,7 +28,9 @@ from repro.core.aggregation import Aggregator, CollectAggregator
 from repro.core.cogcast import BroadcastResult, CogCast
 from repro.core.cogcomp import AggregationResult, CogComp
 from repro.core.gossip import GossipCast, GossipResult
+from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
+from repro.obs.watchdog import flush_anomalies
 from repro.sim.adversary import Jammer
 from repro.sim.channels import Network
 from repro.sim.collision import CollisionModel
@@ -37,7 +42,27 @@ from repro.types import NodeId, SimulationError
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.obs.probe import SlotProbe
     from repro.obs.profiler import Profiler
+    from repro.obs.spans import SpanProbe
     from repro.obs.telemetry import TelemetrySink
+    from repro.obs.watchdog import WatchdogProbe
+
+
+def _compose_probe(
+    probe: "SlotProbe | None",
+    spans: "SpanProbe | None",
+    watchdogs: "Sequence[WatchdogProbe]",
+) -> "SlotProbe | None":
+    """Fold the separate instrument kwargs into one engine probe."""
+    instruments = [
+        instrument
+        for instrument in (probe, spans, *watchdogs)
+        if instrument is not None
+    ]
+    if not instruments:
+        return None
+    if len(instruments) == 1:
+        return instruments[0]
+    return MultiProbe(instruments)
 
 
 def _emit_run(
@@ -50,8 +75,10 @@ def _emit_run(
     outcome: str,
     probe: "SlotProbe | None",
     profiler: "Profiler | None",
+    spans: "SpanProbe | None" = None,
+    watchdogs: "Sequence[WatchdogProbe]" = (),
 ) -> None:
-    """Emit one run manifest when a telemetry sink is attached."""
+    """Emit one run manifest (plus any anomalies) when a sink is attached."""
     if telemetry is not None:
         telemetry.emit(
             run_record(
@@ -62,8 +89,11 @@ def _emit_run(
                 outcome=outcome,
                 probe=probe,
                 profiler=profiler,
+                spans=spans,
             )
         )
+        if watchdogs:
+            flush_anomalies(telemetry, watchdogs, seed=seed, protocol=protocol)
 
 
 def run_local_broadcast(
@@ -79,6 +109,8 @@ def run_local_broadcast(
     require_completion: bool = False,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    spans: "SpanProbe | None" = None,
+    watchdogs: "Sequence[WatchdogProbe]" = (),
     telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run COGCAST until every node is informed (or *max_slots*).
@@ -86,7 +118,9 @@ def run_local_broadcast(
     This is the measurement entry point for the broadcast experiments:
     it reports *completion time* — the number of slots until the last
     node learns the message — rather than running for the fixed
-    Theorem 4 bound.
+    Theorem 4 bound.  *spans* reconstructs the distribution tree
+    (:class:`repro.obs.spans.SpanProbe`); *watchdogs* check invariants
+    live, their anomalies flowing to *telemetry* when given.
     """
 
     def factory(view: NodeView) -> CogCast:
@@ -99,7 +133,7 @@ def run_local_broadcast(
         collision=collision,
         trace=trace,
         jammer=jammer,
-        probe=probe,
+        probe=_compose_probe(probe, spans, watchdogs),
         profiler=profiler,
     )
     protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
@@ -117,6 +151,8 @@ def run_local_broadcast(
         outcome="completed" if result.completed else "budget",
         probe=probe,
         profiler=profiler,
+        spans=spans,
+        watchdogs=watchdogs,
     )
     if require_completion and not result.completed:
         raise SimulationError(
@@ -146,6 +182,8 @@ def run_data_aggregation(
     require_completion: bool = False,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    spans: "SpanProbe | None" = None,
+    watchdogs: "Sequence[WatchdogProbe]" = (),
     telemetry: "TelemetrySink | None" = None,
 ) -> AggregationResult:
     """Run COGCOMP end to end and return the source's aggregate.
@@ -160,6 +198,13 @@ def run_data_aggregation(
     max_phase4_steps:
         Safety budget for phase four; defaults to ``6n + 64`` steps
         (Theorem 10 guarantees ``O(n)``).
+    spans:
+        Optional :class:`repro.obs.spans.SpanProbe`; the runner hands it
+        the protocol's exact phase timetable (``set_timetable(l)``) so
+        its phase spans match ``phase2_start``/``phase3_start``/
+        ``phase4_start`` by construction.
+    watchdogs:
+        Optional invariant watchdogs; anomalies flow to *telemetry*.
     """
     from repro.analysis.theory import cogcast_slot_bound
 
@@ -174,6 +219,8 @@ def run_data_aggregation(
     )
     steps_budget = max_phase4_steps if max_phase4_steps is not None else 6 * n + 64
     max_slots = 2 * l + n + 3 * steps_budget
+    if spans is not None:
+        spans.set_timetable(l)
 
     def factory(view: NodeView) -> CogComp:
         return CogComp(
@@ -190,7 +237,7 @@ def run_data_aggregation(
         seed=seed,
         collision=collision,
         trace=trace,
-        probe=probe,
+        probe=_compose_probe(probe, spans, watchdogs),
         profiler=profiler,
     )
     protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
@@ -215,6 +262,8 @@ def run_data_aggregation(
         outcome=outcome,
         probe=probe,
         profiler=profiler,
+        spans=spans,
+        watchdogs=watchdogs,
     )
     if require_completion and (not result.completed or failures):
         raise SimulationError(

@@ -86,6 +86,7 @@ class Campaign:
         seed: int = 0,
         telemetry: Any = None,
         jobs: int | None = 1,
+        watchdogs: Sequence[Any] = (),
     ) -> list[PointResult]:
         """Measure every grid point with *trials* independent seeds.
 
@@ -94,6 +95,14 @@ class Campaign:
         ``kind="campaign"`` manifest is emitted per grid point as it
         completes, with the point, its trial count, the sample mean, and
         the point's ``perf_counter`` wall time.
+
+        *watchdogs* are invariant monitors
+        (:class:`repro.obs.watchdog.WatchdogProbe`) the measure function
+        attached to its runs; after the grid completes, their
+        accumulated anomalies are flushed to *telemetry* as
+        ``kind="anomaly"`` records.  Watchdog state lives in this
+        process, so combine watchdogs with ``jobs=1`` (worker processes
+        cannot report back through a probe object).
 
         *jobs* fans the flattened ``(point, trial)`` work list across a
         process pool via :func:`repro.perf.pmap_trials`; every trial's
@@ -148,6 +157,10 @@ class Campaign:
                     ci_high=high,
                 )
             )
+        if telemetry is not None and watchdogs:
+            from repro.obs.watchdog import flush_anomalies
+
+            flush_anomalies(telemetry, watchdogs, seed=seed)
         return results
 
     def table(

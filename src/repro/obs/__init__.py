@@ -19,11 +19,24 @@ constant-memory alternative:
 - **Profiler** (:class:`Profiler`) — ``time.perf_counter``-based wall
   time attribution to engine sections and harness phases (R2-safe:
   monotonic counters only, never the wall clock).
+- **Spans** (:class:`SpanProbe`, :class:`SpanTree`, :class:`Span`) —
+  the causal layer: reconstructs COGCAST's distribution tree (who
+  informed whom, when, on which channel) and COGCOMP's four phase
+  spans plus per-cluster aggregation conversations from engine ground
+  truth; :func:`chrome_trace` / :func:`write_chrome_trace` export the
+  timeline as Chrome-trace / Perfetto JSON (``repro obs
+  export-trace``).
+- **Watchdogs** (:class:`WatchdogProbe` and the concrete
+  :class:`SlotBudgetWatchdog`, :class:`MediatorUniquenessWatchdog`,
+  :class:`ClusterSizeAgreementWatchdog`, :class:`InformedSetWatchdog`)
+  — live checks of the paper's invariants that raise structured
+  :class:`Anomaly` records into telemetry (``kind="anomaly"``) instead
+  of crashing the run.
 - **Telemetry** (:class:`TelemetrySink`) — machine-readable JSONL run
   manifests (seed, ``n``/``c``/``k``/``C``, protocol, slot count,
-  outcome, counters, timings) emitted by the runner harnesses, plus a
-  ``python -m repro obs`` CLI that validates, tails, and summarizes
-  telemetry files.
+  outcome, counters, timings, span summaries) emitted by the runner
+  harnesses, plus a ``python -m repro obs`` CLI that validates, tails,
+  and summarizes telemetry files and surfaces anomalies.
 
 Everything here is analysis-side: protocols never see probes, sinks,
 or profilers (lint rule R4 forbids protocol modules from importing
@@ -31,13 +44,21 @@ this package).
 """
 
 from repro.obs.aggregators import FixedHistogram, StreamingStat
+from repro.obs.export import (
+    chrome_trace,
+    span_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.probe import MultiProbe, ProtocolProbe, SlotProbe, attach
 from repro.obs.probes import ActivityProbe, CountersProbe, HistogramProbe
 from repro.obs.profiler import Profiler, SectionStat
+from repro.obs.spans import InformEdge, Span, SpanProbe, SpanTree, payload_kind
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetryError,
     TelemetrySink,
+    anomaly_record,
     campaign_record,
     experiment_record,
     read_telemetry,
@@ -45,26 +66,52 @@ from repro.obs.telemetry import (
     summarize_records,
     validate_record,
 )
+from repro.obs.watchdog import (
+    Anomaly,
+    ClusterSizeAgreementWatchdog,
+    InformedSetWatchdog,
+    MediatorUniquenessWatchdog,
+    SlotBudgetWatchdog,
+    WatchdogProbe,
+    flush_anomalies,
+)
 
 __all__ = [
     "ActivityProbe",
+    "Anomaly",
+    "ClusterSizeAgreementWatchdog",
     "CountersProbe",
     "FixedHistogram",
     "HistogramProbe",
+    "InformEdge",
+    "InformedSetWatchdog",
+    "MediatorUniquenessWatchdog",
     "MultiProbe",
     "Profiler",
     "ProtocolProbe",
     "SectionStat",
+    "SlotBudgetWatchdog",
     "SlotProbe",
+    "Span",
+    "SpanProbe",
+    "SpanTree",
     "StreamingStat",
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryError",
     "TelemetrySink",
+    "WatchdogProbe",
+    "anomaly_record",
     "attach",
     "campaign_record",
+    "chrome_trace",
     "experiment_record",
+    "flush_anomalies",
+    "payload_kind",
     "read_telemetry",
     "run_record",
+    "span_summary",
     "summarize_records",
+    "validate_chrome_trace",
     "validate_record",
+    "write_chrome_trace",
 ]

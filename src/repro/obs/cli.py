@@ -1,13 +1,21 @@
-"""The ``repro obs`` CLI: validate, tail, and summarize telemetry files.
+"""The ``repro obs`` CLI: inspect telemetry and export causal traces.
 
 Usage (also installed as the standalone ``repro-obs`` console script)::
 
     repro-obs validate telemetry.jsonl [...]   # schema-check every line
     repro-obs summary telemetry.jsonl [...]    # grouped digest
     repro-obs tail telemetry.jsonl -n 5        # last records, pretty-printed
+    repro-obs anomalies telemetry.jsonl [...]  # watchdog anomalies; exit 1 if any
+    repro-obs export-trace --protocol cogcomp --n 12 --c 6 --k 2 \\
+        --seed 0 -o trace.json [--spans spans.json]
 
-Exit status: 0 on success, 1 when validation finds problems or a file
-is unreadable, 2 on usage errors (argparse).
+``export-trace`` runs one seeded protocol with a
+:class:`~repro.obs.spans.SpanProbe` attached and writes the resulting
+Chrome-trace / Perfetto JSON timeline (load it at ``ui.perfetto.dev``
+or ``chrome://tracing``).
+
+Exit status: 0 on success, 1 when validation finds problems, a file is
+unreadable or empty, or anomalies exist, 2 on usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.obs.telemetry import (
     read_telemetry,
@@ -25,17 +33,18 @@ from repro.obs.telemetry import (
 )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Build the ``repro-obs`` argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro-obs",
-        description="Inspect repro telemetry (JSONL run manifests)",
-    )
-    sub = parser.add_subparsers(dest="obs_command", required=True)
+def add_subcommands(sub: Any) -> None:
+    """Register the obs subcommands on an argparse subparsers object.
+
+    Shared between the standalone ``repro-obs`` parser and the ``obs``
+    subcommand of the main ``repro-experiments`` CLI, so the two
+    surfaces cannot drift apart.
+    """
     for name, help_text in (
         ("validate", "schema-check every record; exit 1 on problems"),
         ("summary", "grouped digest of runs / experiments / campaigns"),
         ("tail", "pretty-print the newest records"),
+        ("anomalies", "list watchdog anomaly records; exit 1 when any exist"),
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument("files", nargs="+", help="telemetry JSONL files")
@@ -43,7 +52,51 @@ def build_parser() -> argparse.ArgumentParser:
             command.add_argument(
                 "-n", "--limit", type=int, default=10, help="records to show"
             )
+    export = sub.add_parser(
+        "export-trace",
+        help="run a seeded protocol and write a Chrome-trace/Perfetto timeline",
+    )
+    export.add_argument(
+        "--protocol",
+        choices=("cogcast", "cogcomp"),
+        default="cogcomp",
+        help="protocol to run (default: cogcomp)",
+    )
+    export.add_argument("--n", type=int, default=12, help="number of nodes")
+    export.add_argument("--c", type=int, default=6, help="channels per node")
+    export.add_argument("--k", type=int, default=2, help="pairwise overlap")
+    export.add_argument("--seed", type=int, default=0, help="run seed")
+    export.add_argument(
+        "-o", "--output", required=True, metavar="FILE", help="trace JSON path"
+    )
+    export.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help="also write the compact span-summary JSON to FILE",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect repro telemetry (JSONL run manifests)",
+    )
+    add_subcommands(parser.add_subparsers(dest="obs_command", required=True))
     return parser
+
+
+def _read_all(files: Sequence[str]) -> list[dict[str, Any]] | None:
+    """Every record across *files*, or ``None`` after printing an error."""
+    records: list[dict[str, Any]] = []
+    for path in files:
+        try:
+            records.extend(read_telemetry(path, strict=False))
+        except OSError as error:
+            print(f"{path}: {error.strerror or error}", file=sys.stderr)
+            return None
+    return records
 
 
 def validate_files(files: Sequence[str]) -> int:
@@ -80,47 +133,149 @@ def validate_files(files: Sequence[str]) -> int:
 
 
 def summarize_files(files: Sequence[str]) -> int:
-    """Print a digest of all records across *files*; 0 iff all readable."""
-    records = []
-    for path in files:
-        try:
-            records.extend(read_telemetry(path, strict=False))
-        except OSError as error:
-            print(f"{path}: {error.strerror or error}", file=sys.stderr)
-            return 1
+    """Print a digest of all records across *files*; 0 iff any exist."""
+    records = _read_all(files)
+    if records is None:
+        return 1
+    if not records:
+        print("no telemetry records in " + ", ".join(files))
+        return 1
     print(summarize_records(records))
     return 0
 
 
 def tail_files(files: Sequence[str], limit: int) -> int:
     """Pretty-print the newest *limit* records across *files*."""
-    records = []
-    for path in files:
-        try:
-            records.extend(read_telemetry(path, strict=False))
-        except OSError as error:
-            print(f"{path}: {error.strerror or error}", file=sys.stderr)
-            return 1
+    records = _read_all(files)
+    if records is None:
+        return 1
+    if not records:
+        print("no telemetry records in " + ", ".join(files))
+        return 1
     for record in tail_records(records, limit):
         print(json.dumps(record, sort_keys=True))
     return 0
 
 
+def anomalies_files(files: Sequence[str]) -> int:
+    """Print every ``kind="anomaly"`` record; exit 0 iff there are none.
+
+    CI runs this against smoke telemetry: a watchdog anomaly (or an
+    empty/unreadable file) fails the build.
+    """
+    records = _read_all(files)
+    if records is None:
+        return 1
+    if not records:
+        print("no telemetry records in " + ", ".join(files))
+        return 1
+    anomalies = [record for record in records if record.get("kind") == "anomaly"]
+    if not anomalies:
+        print(f"no anomalies in {len(records)} records")
+        return 0
+    for record in anomalies:
+        protocol = record.get("protocol")
+        origin = f" protocol={protocol}" if protocol else ""
+        print(
+            f"[{record['rule']}] seed={record['seed']}{origin} "
+            f"slot={record['slot']}: {record['message']}"
+        )
+    print(f"{len(anomalies)} anomalies in {len(records)} records")
+    return 1
+
+
+def export_trace(
+    *,
+    protocol: str,
+    n: int,
+    c: int,
+    k: int,
+    seed: int,
+    output: str,
+    spans_path: str | None = None,
+) -> int:
+    """Run one seeded protocol with a span probe; write its trace JSON.
+
+    COGCAST runs to the Theorem 4 budget; COGCOMP aggregates the values
+    ``1..n`` with its default timetable.  Protocol modules are imported
+    here, not at module load, so telemetry-only invocations stay light.
+    """
+    from repro.analysis.theory import cogcast_slot_bound
+    from repro.assignment import shared_core
+    from repro.core.runners import run_data_aggregation, run_local_broadcast
+    from repro.obs.export import span_summary, write_chrome_trace
+    from repro.obs.spans import SpanProbe
+    from repro.sim.channels import Network
+    from repro.sim.rng import derive_rng
+
+    network = Network.static(shared_core(n, c, k, derive_rng(seed, "export-trace")))
+    probe = SpanProbe()
+    if protocol == "cogcast":
+        run_local_broadcast(
+            network,
+            seed=seed,
+            max_slots=cogcast_slot_bound(n, c, k),
+            spans=probe,
+        )
+    else:
+        values = [float(node + 1) for node in range(n)]
+        run_data_aggregation(network, values, seed=seed, spans=probe)
+    events = write_chrome_trace(
+        output, probe, trace_name=f"{protocol} n={n} c={c} k={k} seed={seed}"
+    )
+    print(f"wrote {events} trace events to {output}")
+    if spans_path is not None:
+        with open(spans_path, "w", encoding="utf-8") as handle:
+            json.dump(span_summary(probe), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote span summary to {spans_path}")
+    return 0
+
+
+def dispatch(args: argparse.Namespace) -> int:
+    """Route parsed obs arguments to their subcommand implementation."""
+    command = args.obs_command
+    if command == "validate":
+        return validate_files(args.files)
+    if command == "summary":
+        return summarize_files(args.files)
+    if command == "tail":
+        return tail_files(args.files, args.limit)
+    if command == "anomalies":
+        return anomalies_files(args.files)
+    if command == "export-trace":
+        return export_trace(
+            protocol=args.protocol,
+            n=args.n,
+            c=args.c,
+            k=args.k,
+            seed=args.seed,
+            output=args.output,
+            spans_path=args.spans,
+        )
+    raise ValueError(f"unknown obs command {command!r}")
+
+
 def run(obs_command: str, files: Sequence[str], *, limit: int = 10) -> int:
-    """Dispatch one obs subcommand (used by ``python -m repro obs``)."""
+    """Dispatch one telemetry-file subcommand by name (compat shim).
+
+    Kept for callers that predate :func:`dispatch`; covers only the
+    file-oriented subcommands.
+    """
     if obs_command == "validate":
         return validate_files(files)
     if obs_command == "summary":
         return summarize_files(files)
     if obs_command == "tail":
         return tail_files(files, limit)
+    if obs_command == "anomalies":
+        return anomalies_files(files)
     raise ValueError(f"unknown obs command {obs_command!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-obs`` console script."""
-    args = build_parser().parse_args(argv)
-    return run(args.obs_command, args.files, limit=getattr(args, "limit", 10))
+    return dispatch(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

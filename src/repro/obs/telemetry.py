@@ -58,6 +58,11 @@ _REQUIRED: dict[str, dict[str, tuple[type, ...]]] = {
         "mean": (int, float),
         "elapsed_s": (int, float),
     },
+    "anomaly": {
+        "rule": (str,),
+        "slot": (int,),
+        "message": (str,),
+    },
 }
 
 
@@ -118,6 +123,12 @@ def validate_record(record: Any) -> list[str]:
             problems.append(
                 "timings must map sections to {seconds: number, calls: int}"
             )
+    spans = record.get("spans")
+    if spans is not None and not isinstance(spans, dict):
+        problems.append("spans must be an object (a span summary)")
+    detail = record.get("detail")
+    if detail is not None and not isinstance(detail, dict):
+        problems.append("detail must be an object")
     return problems
 
 
@@ -134,14 +145,17 @@ def run_record(
     outcome: str,
     probe: Any = None,
     profiler: Any = None,
+    spans: Any = None,
     extra: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a ``kind="run"`` manifest for one engine run.
 
     The network supplies ``(n, c, k)`` and the slot-0 universe size
     ``C``.  When *probe* or *profiler* expose ``as_dict()``, their
-    snapshots ride along as ``counters`` / ``timings``.  *extra* keys
-    are merged last (they must not shadow schema fields).
+    snapshots ride along as ``counters`` / ``timings``; when *spans*
+    exposes ``summary()`` (a :class:`repro.obs.spans.SpanProbe`) or is
+    already a mapping, it rides along as ``spans``.  *extra* keys are
+    merged last (they must not shadow schema fields).
     """
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
@@ -159,6 +173,10 @@ def run_record(
         record["counters"] = probe.as_dict()
     if profiler is not None and hasattr(profiler, "as_dict"):
         record["timings"] = profiler.as_dict()
+    if spans is not None:
+        record["spans"] = (
+            spans.summary() if hasattr(spans, "summary") else dict(spans)
+        )
     if extra:
         for key, value in extra.items():
             if key in record:
@@ -175,9 +193,16 @@ def experiment_record(
     fast: bool,
     elapsed_s: float,
     rows: int,
+    profiler: Any = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
-    """Build a ``kind="experiment"`` manifest for one table generation."""
-    return {
+    """Build a ``kind="experiment"`` manifest for one table generation.
+
+    When *profiler* exposes ``as_dict()`` its section stats ride along
+    as ``timings``; when *spans* exposes ``summary()`` (or is already a
+    mapping) it rides along as ``spans``.
+    """
+    record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "experiment",
         "experiment": experiment_id,
@@ -187,6 +212,43 @@ def experiment_record(
         "elapsed_s": round(elapsed_s, 6),
         "rows": rows,
     }
+    if profiler is not None and hasattr(profiler, "as_dict"):
+        record["timings"] = profiler.as_dict()
+    if spans is not None:
+        record["spans"] = (
+            spans.summary() if hasattr(spans, "summary") else dict(spans)
+        )
+    return record
+
+
+def anomaly_record(
+    *,
+    rule: str,
+    seed: int,
+    slot: int,
+    message: str,
+    protocol: str | None = None,
+    detail: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build a ``kind="anomaly"`` record for one watchdog violation.
+
+    Emitted by :func:`repro.obs.watchdog.flush_anomalies`; *detail*
+    carries the watchdog's structured context, *protocol* names the run
+    the anomaly was observed in (when known).
+    """
+    record: dict[str, Any] = {
+        "schema": TELEMETRY_SCHEMA_VERSION,
+        "kind": "anomaly",
+        "seed": seed,
+        "rule": rule,
+        "slot": slot,
+        "message": message,
+    }
+    if protocol is not None:
+        record["protocol"] = protocol
+    if detail is not None:
+        record["detail"] = dict(detail)
+    return record
 
 
 def campaign_record(
@@ -299,8 +361,8 @@ def summarize_records(records: Sequence[Mapping[str, Any]]) -> str:
     """A human-readable digest of a batch of telemetry records.
 
     Groups run records by protocol (count, slot stats, outcome mix),
-    experiment records by experiment id, and campaign records by
-    campaign name.
+    experiment records by experiment id, campaign records by campaign
+    name, and anomaly records by rule.
     """
     if not records:
         return "no telemetry records"
@@ -342,6 +404,12 @@ def summarize_records(records: Sequence[Mapping[str, Any]]) -> str:
                 f"  {name}: {len(group)} points, "
                 f"{sum(r['trials'] for r in group)} trials"
             )
+    anomalies = [r for r in records if r.get("kind") == "anomaly"]
+    if anomalies:
+        lines.append(f"anomalies: {len(anomalies)}")
+        for rule in sorted({r["rule"] for r in anomalies}):
+            group = [r for r in anomalies if r["rule"] == rule]
+            lines.append(f"  {rule}: {len(group)}")
     return "\n".join(lines)
 
 

@@ -131,6 +131,7 @@ class Engine:
         self.profiler = profiler
         self._probe: "SlotProbe | None" = None
         self._node_probe: "SlotProbe | None" = None
+        self._fast_run_active = False
         self.probe = probe
         self.slot = 0
         self.fast_path = fast_path
@@ -144,6 +145,16 @@ class Engine:
 
     @probe.setter
     def probe(self, probe: "SlotProbe | None") -> None:
+        # The fast kernel fires no hooks, so a probe attached while it
+        # is in flight (e.g. from a stop_when callback) would be
+        # silently ignored for the rest of the run — refuse instead.
+        # Between runs, attaching is safe: eligibility is re-checked at
+        # the top of every run(), so the next run leaves the fast path.
+        if probe is not None and self._fast_run_active:
+            raise SimulationError(
+                "cannot attach a probe while a fast-path run is in flight; "
+                "attach it before run() or construct the engine with it"
+            )
         # Resolve the per-node dispatch decision once, not per slot.
         self._probe = probe
         self._node_probe = (
@@ -469,7 +480,11 @@ class Engine:
             )
         self.fast_path_engaged = self._fast_path_eligible()
         if self.fast_path_engaged:
-            executed, completed = self._run_fast(max_slots, condition)
+            self._fast_run_active = True
+            try:
+                executed, completed = self._run_fast(max_slots, condition)
+            finally:
+                self._fast_run_active = False
         else:
             executed = 0
             completed = condition(self)

@@ -106,6 +106,14 @@ class TestStreamingStat:
         stat.push(1)
         assert json.loads(json.dumps(stat.as_dict()))["count"] == 1
 
+    def test_single_sample_variance_is_zero(self):
+        stat = StreamingStat()
+        stat.push(42.0)
+        assert stat.count == 1
+        assert stat.mean == 42.0
+        assert stat.variance == 0.0  # population variance of one sample
+        assert stat.minimum == stat.maximum == 42.0
+
 
 class TestFixedHistogram:
     def test_bucketing_and_overflow(self):
@@ -276,6 +284,39 @@ class TestMultiProbe:
         run_local_broadcast(small_network(), seed=11, max_slots=5000, probe=multi)
         assert node_probe.actions > 0
 
+    def test_children_fire_in_registration_order(self):
+        calls: list[tuple[str, str]] = []
+
+        class OrderedSlot(SlotProbe):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_slot_begin(self, slot):
+                calls.append((self.tag, "slot_begin"))
+
+            def on_slot_end(self, slot, active):
+                calls.append((self.tag, "slot_end"))
+
+        class OrderedNode(ProtocolProbe):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_slot_begin(self, slot):
+                calls.append((self.tag, "slot_begin"))
+
+            def on_action(self, slot, node, action):
+                calls.append((self.tag, "action"))
+
+        multi = MultiProbe([OrderedSlot("a"), OrderedNode("b"), OrderedSlot("c")])
+        multi.on_slot_begin(0)
+        assert calls == [("a", "slot_begin"), ("b", "slot_begin"), ("c", "slot_begin")]
+        calls.clear()
+        multi.on_action(0, 1, None)
+        assert calls == [("b", "action")]  # slot-level children skipped
+        calls.clear()
+        multi.on_slot_end(0, 3)
+        assert calls == [("a", "slot_end"), ("c", "slot_end")]
+
     def test_parity_through_multiprobe(self):
         network = small_network()
         trace = EventTrace()
@@ -422,6 +463,44 @@ class TestTelemetryRecords:
         assert validate_record(record) == []
         assert record["counters"]["successes"] == counters.successes
         assert "engine.resolve" in record["timings"]
+
+    def test_records_embed_span_summaries_and_profiler_timings(self):
+        from repro.obs import SpanProbe
+
+        profiler, spans = Profiler(), SpanProbe()
+        run_data_aggregation(
+            small_network(),
+            [1.0] * 16,
+            seed=3,
+            spans=spans,
+            profiler=profiler,
+        )
+        record = run_record(
+            protocol="cogcomp",
+            seed=3,
+            network=small_network(),
+            slots=10,
+            outcome="completed",
+            profiler=profiler,
+            spans=spans,
+        )
+        assert validate_record(record) == []
+        assert record["spans"] == spans.summary()
+        assert record["timings"] == profiler.as_dict()
+
+        experiment = experiment_record(
+            experiment_id="E01",
+            seed=3,
+            trials=1,
+            fast=True,
+            elapsed_s=0.1,
+            rows=1,
+            profiler=profiler,
+            spans=spans,
+        )
+        assert validate_record(experiment) == []
+        assert experiment["spans"]["informed"] == len(spans.informed)
+        assert experiment["timings"] == profiler.as_dict()
 
     def test_run_record_extra_cannot_shadow(self):
         with pytest.raises(TelemetryError):

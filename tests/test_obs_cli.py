@@ -70,6 +70,125 @@ class TestObsMain:
         with pytest.raises(SystemExit):
             obs_main([])
 
+    def test_summary_of_empty_file_fails_with_message(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert obs_main(["summary", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert out == f"no telemetry records in {empty}\n"
+
+    def test_tail_of_empty_file_fails_with_message(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n\n")  # blank lines only: still no records
+        assert obs_main(["tail", str(empty)]) == 1
+        assert "no telemetry records" in capsys.readouterr().out
+
+    def test_summary_of_missing_file_fails(self, tmp_path, capsys):
+        assert obs_main(["summary", str(tmp_path / "absent.jsonl")]) == 1
+        assert capsys.readouterr().err != ""
+
+
+class TestAnomaliesSubcommand:
+    def _anomaly(self, seed=3):
+        from repro.obs.telemetry import anomaly_record
+
+        return anomaly_record(
+            rule="mediator-unique",
+            seed=seed,
+            slot=189,
+            message="channel 0 has 2 distinct mediator announcers",
+            protocol="cogcomp",
+            detail={"channel": 0, "announcers": [1, 4]},
+        )
+
+    def test_clean_file_passes(self, telemetry_file, capsys):
+        assert obs_main(["anomalies", str(telemetry_file)]) == 0
+        assert "no anomalies in 4 records" in capsys.readouterr().out
+
+    def test_anomalies_fail_and_print(self, telemetry_file, capsys):
+        with TelemetrySink(telemetry_file) as sink:
+            sink.emit(self._anomaly())
+        assert obs_main(["anomalies", str(telemetry_file)]) == 1
+        out = capsys.readouterr().out
+        assert "[mediator-unique] seed=3 protocol=cogcomp slot=189:" in out
+        assert "1 anomalies in 5 records" in out
+
+    def test_empty_or_missing_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert obs_main(["anomalies", str(empty)]) == 1
+        assert obs_main(["anomalies", str(tmp_path / "absent.jsonl")]) == 1
+
+    def test_via_main_cli(self, telemetry_file, capsys):
+        assert repro_main(["obs", "anomalies", str(telemetry_file)]) == 0
+
+
+class TestExportTrace:
+    def test_cogcomp_trace_round_trips(self, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        spans_path = tmp_path / "spans.json"
+        assert (
+            obs_main(
+                [
+                    "export-trace",
+                    "--protocol",
+                    "cogcomp",
+                    "--n",
+                    "8",
+                    "--c",
+                    "6",
+                    "--k",
+                    "2",
+                    "--seed",
+                    "1",
+                    "-o",
+                    str(trace_path),
+                    "--spans",
+                    str(spans_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace events" in out and "span summary" in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"phase1", "phase2", "phase3", "phase4"} <= names
+        summary = json.loads(spans_path.read_text())
+        assert set(summary["phases"]) == {"phase1", "phase2", "phase3", "phase4"}
+
+    def test_cogcast_trace_via_main_cli(self, tmp_path):
+        from repro.obs.export import validate_chrome_trace
+
+        trace_path = tmp_path / "cast.json"
+        assert (
+            repro_main(
+                [
+                    "obs",
+                    "export-trace",
+                    "--protocol",
+                    "cogcast",
+                    "--n",
+                    "8",
+                    "--c",
+                    "4",
+                    "--k",
+                    "2",
+                    "--seed",
+                    "0",
+                    "-o",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
 
 class TestReproObsSubcommand:
     def test_validate_via_main_cli(self, telemetry_file, capsys):
