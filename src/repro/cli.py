@@ -95,9 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "paths", nargs="*", help="files or directories (default: src/repro)"
     )
-    lint_parser.add_argument("--format", choices=("text", "json"), default="text")
+    lint_parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     lint_parser.add_argument("--select", default=None, metavar="RULES")
+    lint_parser.add_argument("--ignore", default=None, metavar="RULES")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE")
+    lint_parser.add_argument("--update-baseline", action="store_true")
     lint_parser.add_argument("--list-rules", action="store_true")
+    lint_parser.add_argument("--explain", default=None, metavar="RULE")
+    lint_parser.add_argument("--root", default="src/repro", metavar="PATH")
     return parser
 
 
@@ -181,7 +188,24 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.list_rules:
             return lint_cli.list_rules()
-        return lint_cli.run(args.paths, output_format=args.format, select=args.select)
+        if args.explain is not None:
+            return lint_cli.explain(args.explain)
+        if args.paths and args.paths[0] == "effects":
+            if len(args.paths) != 2:
+                print(
+                    "usage: repro lint effects MODULE:FUNC [--root PATH]",
+                    file=sys.stderr,
+                )
+                return 2
+            return lint_cli.effects_command(args.paths[1], root=args.root)
+        return lint_cli.run(
+            args.paths,
+            output_format=args.format,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+        )
     if args.command == "obs":
         from repro.obs import cli as obs_cli
 

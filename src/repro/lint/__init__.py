@@ -16,28 +16,66 @@ Rule      Name                              Invariant guarded
 ``R4``    protocol-isolation                nodes see only their ``NodeView``
 ``R5``    no-frozen-mutation                slot records are immutable history
 ``R6``    unordered-iteration-determinism   iteration orders replay exactly
+``R7``    parallel-purity                   callables fanned across workers
+                                            are transitively effect-pure
+``R8``    rng-stream-discipline             draw sequences are pure functions
+                                            of (config, seed)
+``R9``    cache-key-purity                  experiment records replay from
+                                            (config, seed) alone
+``R10``   effect-signature-drift            declared ``Effects:`` contracts
+                                            cover inferred signatures
 ========  ================================  ==================================
+
+R1–R6 inspect one file at a time.  R7–R10 are whole-program rules built
+on :mod:`repro.lint.analysis`: an import graph over the linted files, a
+conservatively-resolved call graph, and per-function effect signatures
+propagated to a transitive fixpoint.
 
 Run it as ``repro-lint`` / ``python -m repro lint`` / ``make lint``; the
 test suite's self-check (``tests/test_lint.py``) keeps ``src/repro``
-permanently clean.  See ``docs/lint.md`` for the rule-by-rule rationale.
+permanently clean, and CI gates every tracked tree against
+``lint-baseline.json``.  See ``docs/lint.md`` for the rule-by-rule
+rationale, ``repro-lint --explain RULE`` for any single rule, and
+``repro-lint effects MODULE:FUNC`` for an effect-signature dump.
 """
 
+from repro.lint.baseline import load_baseline, partition, write_baseline
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules, register
-from repro.lint.reporters import render_json, render_text
-from repro.lint.runner import iter_python_files, lint_file, lint_paths
+from repro.lint.registry import ProjectRule, Rule, all_rules, register
+from repro.lint.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+    validate_sarif,
+)
+from repro.lint.runner import (
+    clear_cache,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    load_module,
+)
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "clear_cache",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "load_baseline",
+    "load_module",
+    "partition",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "sarif_document",
+    "validate_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,79 @@
+"""Whole-program analysis layer under the model-soundness linter.
+
+Three passes, each feeding the next:
+
+1. :mod:`repro.lint.analysis.imports` — stable module names for every
+   linted file and the import graph between them;
+2. :mod:`repro.lint.analysis.callgraph` — every function/method with a
+   qualified name (``repro.sim.engine:Engine.run``) and conservatively
+   resolved call edges;
+3. :mod:`repro.lint.analysis.effects` — per-function effect signatures
+   (RNG draws, shared-state writes, I/O, wallclock, nondeterministic
+   builtins) propagated transitively to a fixpoint, each effect with a
+   witness chain back to the introducing line.
+
+:func:`build_project` runs all three and returns the
+:class:`ProjectContext` consumed by the whole-program rules R7–R10 and
+by ``repro-lint effects MODULE:FUNC``.
+"""
+
+from repro.lint.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.lint.analysis.effects import (
+    ALL_EFFECTS,
+    EFFECT_AMBIENT_RNG,
+    EFFECT_ENV,
+    EFFECT_GLOBAL_WRITE,
+    EFFECT_IO,
+    EFFECT_NONDET,
+    EFFECT_PERF_COUNTER,
+    EFFECT_RNG,
+    EFFECT_WALLCLOCK,
+    IMPURE_EFFECTS,
+    NON_REPLAY_EFFECTS,
+    EffectAnalysis,
+    Origin,
+    analyze_effects,
+    declared_effects,
+)
+from repro.lint.analysis.imports import (
+    ImportGraph,
+    build_import_graph,
+    module_name_for,
+    resolve_external,
+)
+from repro.lint.analysis.project import ProjectContext, build_project
+
+__all__ = [
+    "ALL_EFFECTS",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "EFFECT_AMBIENT_RNG",
+    "EFFECT_ENV",
+    "EFFECT_GLOBAL_WRITE",
+    "EFFECT_IO",
+    "EFFECT_NONDET",
+    "EFFECT_PERF_COUNTER",
+    "EFFECT_RNG",
+    "EFFECT_WALLCLOCK",
+    "EffectAnalysis",
+    "FunctionInfo",
+    "IMPURE_EFFECTS",
+    "ImportGraph",
+    "NON_REPLAY_EFFECTS",
+    "Origin",
+    "ProjectContext",
+    "analyze_effects",
+    "build_call_graph",
+    "build_import_graph",
+    "build_project",
+    "declared_effects",
+    "module_name_for",
+    "resolve_external",
+]

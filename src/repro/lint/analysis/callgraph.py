@@ -1,0 +1,459 @@
+"""Intra-package call graph over the linted file set.
+
+Every function and method in every linted module becomes a
+:class:`FunctionInfo` with a stable qualified name
+(``repro.sim.engine:Engine.run``).  Call expressions inside each
+function body are resolved *conservatively* back to project functions:
+
+- bare names → nested functions, module-level functions/classes, or
+  ``from``-imports (followed through re-export chains such as
+  ``repro.perf.__init__``);
+- ``self.m()`` / ``cls.m()`` → the enclosing class's method, walking
+  project-resolvable base classes;
+- ``alias.f()`` → the aliased module's function;
+- ``ImportedClass.m()`` → that class's method;
+- method calls on unknown receivers resolve only when exactly one
+  project class defines the method name (unambiguous duck typing);
+  anything else stays *unresolved* and is recorded with its as-written
+  dotted name so the effect analysis can apply pattern heuristics
+  (``rng.choice`` …) without inventing call edges.
+
+Unresolved calls contribute **no** effects beyond those heuristics:
+the analysis under-approximates, so every effect it reports is real.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.analysis.imports import ImportGraph, resolve_external
+from repro.lint.astutil import dotted_name
+from repro.lint.context import ModuleContext
+
+#: ``random.Random`` draw methods; a call to one of these on an
+#: rng-shaped receiver is classified as a seeded-stream draw.
+RNG_DRAW_METHODS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def is_rng_receiver(dotted: str) -> bool:
+    """Whether a dotted receiver chain looks like a seeded RNG stream.
+
+    Matches ``rng``, ``self.rng``, ``view.rng``, ``trial_rng`` … — the
+    naming convention the whole repository uses for streams derived via
+    :func:`repro.sim.rng.derive_rng`.
+    """
+    last = dotted.rsplit(".", 1)[-1]
+    return last == "rng" or last.endswith("_rng")
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    dotted: str
+    line: int
+    col: int
+    node: ast.Call
+    resolved: str | None = None
+    external: str | None = None
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method."""
+
+    qualname: str  #: ``module:Class.method`` / ``module:func``
+    module: str
+    path: str
+    name: str  #: bare name
+    local: str  #: name within the module (``Class.method``, ``outer.inner``)
+    cls: str | None  #: enclosing class's bare name, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    returns_set: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+    rng_aliases: set[str] = field(default_factory=set)
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One project class: its methods and (as-written) base names."""
+
+    qualname: str  #: ``module:Class``
+    module: str
+    name: str
+    methods: dict[str, str] = field(default_factory=dict)  #: name → fn qualname
+    bases: list[str] = field(default_factory=list)  #: as written in source
+
+
+@dataclass
+class CallGraph:
+    """Functions, classes, and resolved call edges over the project."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: method name → qualnames of every project method with that name.
+    methods_by_name: dict[str, list[str]] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> list[str]:
+        """Resolved project callees of *qualname*, sorted, deduplicated."""
+        info = self.functions.get(qualname)
+        if info is None:
+            return []
+        return sorted({site.resolved for site in info.calls if site.resolved})
+
+    def lookup(self, module: str, local: str) -> FunctionInfo | None:
+        return self.functions.get(f"{module}:{local}")
+
+
+def _scoped_walk(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested def/class scopes.
+
+    Lambdas are *included*: their bodies execute in the enclosing
+    function's dynamic extent often enough (sort keys, predicates)
+    that attributing their calls here is the useful approximation.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _returns_set(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    annotation = node.returns
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset", "Set", "FrozenSet", "AbstractSet")
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Set", "FrozenSet", "AbstractSet")
+    return False
+
+
+def build_call_graph(imports: ImportGraph) -> CallGraph:
+    """Collect every function/class in *imports* and resolve call sites."""
+    graph = CallGraph()
+    for module_name in sorted(imports.modules):
+        _collect_definitions(graph, module_name, imports.modules[module_name])
+    for name in sorted(graph.methods_by_name):
+        graph.methods_by_name[name].sort()
+    resolver = _Resolver(graph, imports)
+    for qualname in sorted(graph.functions):
+        resolver.resolve_function(graph.functions[qualname])
+    return graph
+
+
+def _collect_definitions(
+    graph: CallGraph, module_name: str, context: ModuleContext
+) -> None:
+    def visit(body: list[ast.stmt], class_name: str | None, prefix: str) -> None:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = f"{prefix}{statement.name}"
+                qualname = f"{module_name}:{local}"
+                info = FunctionInfo(
+                    qualname=qualname,
+                    module=module_name,
+                    path=context.path,
+                    name=statement.name,
+                    local=local,
+                    cls=class_name,
+                    node=statement,
+                    returns_set=_returns_set(statement),
+                )
+                graph.functions[qualname] = info
+                if class_name is not None:
+                    class_info = graph.classes[f"{module_name}:{class_name}"]
+                    class_info.methods[statement.name] = qualname
+                    graph.methods_by_name.setdefault(statement.name, []).append(
+                        qualname
+                    )
+                # Nested defs become their own functions, prefixed by
+                # the enclosing one (closures submitted to executors are
+                # unpicklable anyway, but their effects still matter).
+                visit(statement.body, None, f"{local}.")
+            elif isinstance(statement, ast.ClassDef) and class_name is None:
+                class_info = ClassInfo(
+                    qualname=f"{module_name}:{statement.name}",
+                    module=module_name,
+                    name=statement.name,
+                    bases=[
+                        written
+                        for base in statement.bases
+                        if (written := dotted_name(base)) is not None
+                    ],
+                )
+                graph.classes[class_info.qualname] = class_info
+                visit(statement.body, statement.name, f"{statement.name}.")
+
+    visit(context.tree.body, None, "")
+
+
+def _parameter_names(arguments: ast.arguments) -> frozenset[str]:
+    collected = (
+        list(arguments.posonlyargs)
+        + list(arguments.args)
+        + list(arguments.kwonlyargs)
+        + ([arguments.vararg] if arguments.vararg else [])
+        + ([arguments.kwarg] if arguments.kwarg else [])
+    )
+    return frozenset(arg.arg for arg in collected)
+
+
+class _Resolver:
+    """Resolves as-written call names to project qualnames."""
+
+    def __init__(self, graph: CallGraph, imports: ImportGraph) -> None:
+        self.graph = graph
+        self.imports = imports
+        self._params: frozenset[str] = frozenset()
+
+    def resolve_function(self, info: FunctionInfo) -> None:
+        context = self.imports.modules[info.module]
+        self._params = _parameter_names(info.node.args)
+        for node in _scoped_walk(info.node.body):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Attribute):
+                # ``choice = self.rng.choice`` — calls through the alias
+                # are seeded draws (the engine fast path's hot-loop idiom).
+                value_dotted = dotted_name(node.value)
+                if (
+                    value_dotted is not None
+                    and "." in value_dotted
+                    and value_dotted.rsplit(".", 1)[-1] in RNG_DRAW_METHODS
+                    and is_rng_receiver(value_dotted.rsplit(".", 1)[0])
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            info.rng_aliases.add(target.id)
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                # Call on a computed receiver, e.g. ``make().method()``:
+                # resolvable only by unambiguous method name.
+                if isinstance(node.func, ast.Attribute):
+                    site = CallSite(
+                        dotted=f"<expr>.{node.func.attr}",
+                        line=node.lineno,
+                        col=node.col_offset,
+                        node=node,
+                        resolved=self._by_unique_method(node.func.attr),
+                    )
+                    info.calls.append(site)
+                continue
+            site = CallSite(
+                dotted=dotted, line=node.lineno, col=node.col_offset, node=node
+            )
+            site.resolved = self._resolve(dotted, info, context)
+            if site.resolved is None:
+                site.external = resolve_external(context, dotted)
+            info.calls.append(site)
+
+    # ------------------------------------------------------------------
+
+    def _resolve(
+        self, dotted: str, info: FunctionInfo, context: ModuleContext
+    ) -> str | None:
+        head, _, tail = dotted.partition(".")
+        if not tail:
+            return self._resolve_bare(head, info, context)
+        if head in ("self", "cls") and info.cls is not None:
+            if "." in tail:
+                # ``self.rng.choice`` and friends: attribute chains on
+                # instance state are out of static reach.
+                return None
+            return self._method_on_class(f"{info.module}:{info.cls}", tail)
+        # ``alias.func`` through a module alias.
+        if head in context.module_aliases:
+            target_module = context.module_aliases[head]
+            return self._function_in_module(target_module, tail)
+        # ``ImportedClass.method`` / ``LocalClass.method``.
+        class_qualname = self._class_for_name(head, info.module, context)
+        if class_qualname is not None and "." not in tail:
+            return self._method_on_class(class_qualname, tail)
+        # ``local_var.method()``: the receiver's type is unknown, so
+        # resolve only when exactly one project class has the method —
+        # and never when the receiver is a *parameter*: injected
+        # dependencies are routinely optional (``sink: Sink | None``),
+        # so a method edge through one is not provable at this call
+        # site, breaking the no-false-positives polarity.
+        if (
+            "." not in tail
+            and head not in context.from_imports
+            and head not in self._params
+        ):
+            return self._by_unique_method(tail)
+        return None
+
+    def _function_in_module(self, module: str, tail: str) -> str | None:
+        """Resolve ``alias.x.y`` where *alias* names a (package) module."""
+        parts = tail.split(".")
+        for split in range(len(parts) - 1, -1, -1):
+            candidate_module = ".".join([module, *parts[:split]])
+            if candidate_module not in self.imports.modules:
+                continue
+            local = ".".join(parts[split:])
+            target = self.graph.lookup(candidate_module, local)
+            if target is not None:
+                return target.qualname
+            if len(parts) - split == 2:
+                class_qualname = f"{candidate_module}:{parts[split]}"
+                if class_qualname in self.graph.classes:
+                    return self._method_on_class(class_qualname, parts[split + 1])
+        return None
+
+    def _resolve_bare(
+        self, name: str, info: FunctionInfo, context: ModuleContext
+    ) -> str | None:
+        # Innermost first: a function nested in this one.
+        nested = self.graph.lookup(info.module, f"{info.local}.{name}")
+        if nested is not None:
+            return nested.qualname
+        if name in info.rng_aliases:
+            return None  # handled by the effect heuristics
+        module_level = self.graph.lookup(info.module, name)
+        if module_level is not None:
+            return module_level.qualname
+        local_class = self.graph.classes.get(f"{info.module}:{name}")
+        if local_class is not None:
+            return local_class.methods.get("__init__")
+        if name in context.from_imports:
+            return self._through_import(*context.from_imports[name])
+        return None
+
+    def _through_import(
+        self, source_module: str, original: str, depth: int = 0
+    ) -> str | None:
+        """Follow ``from m import f`` into the project, through re-exports."""
+        if depth > 8:
+            return None
+        if source_module not in self.imports.modules:
+            return None
+        target = self.graph.lookup(source_module, original)
+        if target is not None:
+            return target.qualname
+        target_class = self.graph.classes.get(f"{source_module}:{original}")
+        if target_class is not None:
+            return target_class.methods.get("__init__")
+        context = self.imports.modules[source_module]
+        if original in context.from_imports:
+            return self._through_import(*context.from_imports[original], depth + 1)
+        return None
+
+    def _class_for_name(
+        self, name: str, module: str, context: ModuleContext
+    ) -> str | None:
+        if f"{module}:{name}" in self.graph.classes:
+            return f"{module}:{name}"
+        if name in context.from_imports:
+            source_module, original = context.from_imports[name]
+            candidate = f"{source_module}:{original}"
+            if candidate in self.graph.classes:
+                return candidate
+        return None
+
+    def _method_on_class(
+        self, class_qualname: str, method: str, seen: frozenset[str] = frozenset()
+    ) -> str | None:
+        """Look up *method* on a class, walking project-resolvable bases."""
+        if class_qualname in seen:
+            return None
+        class_info = self.graph.classes.get(class_qualname)
+        if class_info is None:
+            return None
+        if method in class_info.methods:
+            return class_info.methods[method]
+        context = self.imports.modules.get(class_info.module)
+        for base in class_info.bases:
+            if context is None or "." in base:
+                continue
+            base_qualname = self._class_for_name(base, class_info.module, context)
+            if base_qualname is not None:
+                found = self._method_on_class(
+                    base_qualname, method, seen | {class_qualname}
+                )
+                if found is not None:
+                    return found
+        return None
+
+    def _by_unique_method(self, method: str) -> str | None:
+        """Resolve a method on an unknown receiver iff the name is unique.
+
+        Dunder and ubiquitous names never resolve this way — a wrong
+        edge would smear one class's effects over every caller.
+        """
+        if method.startswith("__"):
+            return None
+        candidates = self.graph.methods_by_name.get(method, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def resolve_callable_expr(
+    graph: CallGraph,
+    imports: ImportGraph,
+    info: FunctionInfo,
+    expr: ast.expr,
+    depth: int = 0,
+) -> str | None:
+    """Resolve a callable-valued *expression* to a project qualname.
+
+    Handles the submission idioms of the parallel layer: a bare or
+    dotted function reference, and ``functools.partial(f, ...)`` (the
+    sanctioned way to bind sweep parameters before fan-out).  Lambdas
+    and anything else return ``None`` — lambdas are unpicklable, so
+    :func:`repro.perf.pmap_trials` runs them serially anyway.
+    """
+    if depth > 4:
+        return None
+    context = imports.modules[info.module]
+    if isinstance(expr, ast.Call):
+        dotted = dotted_name(expr.func)
+        if dotted is not None:
+            canonical = resolve_external(context, dotted) or dotted
+            if canonical in ("functools.partial", "partial") and expr.args:
+                return resolve_callable_expr(
+                    graph, imports, info, expr.args[0], depth + 1
+                )
+        return None
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    resolver = _Resolver(graph, imports)
+    resolver._params = _parameter_names(info.node.args)
+    if "." not in dotted:
+        return resolver._resolve_bare(dotted, info, context)
+    return resolver._resolve(dotted, info, context)

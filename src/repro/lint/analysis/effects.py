@@ -1,0 +1,536 @@
+"""Per-function effect signatures with a transitive fixpoint.
+
+Each project function gets a *direct* effect set extracted from its own
+body, then effects propagate through the call graph until a fixpoint:
+a function's transitive signature is the union of its direct effects
+and every resolved callee's signature.  Every effect keeps a *witness*
+— the source location that introduced it, or the callee it arrived
+through — so a finding (or ``repro-lint effects``) can print the chain
+from an entry point down to the offending line.
+
+Effect kinds
+------------
+
+==================  ====================================================
+``rng``             draw from a seeded stream (``rng.choice`` …,
+                    ``derive_rng``/``derive_seed``/``spawn_rngs``);
+                    deterministic and allowed everywhere — informational
+``perf-counter``    monotonic timing (``time.perf_counter`` …); allowed
+                    by R2, reporting only
+``ambient-rng``     the shared ``random`` module stream, ``numpy.random``,
+                    OS entropy (``os.urandom``, ``uuid4``, ``secrets``)
+``wallclock``       calendar time (``time.time``, ``datetime.now`` …)
+``global-write``    mutation of module-level or class-level state
+``io``              file/stream/process I/O (``open``, ``print``,
+                    ``Path.write_text``, ``subprocess`` …)
+``env``             ambient process environment (``os.environ`` …)
+``nondet-builtin``  salted/process-dependent builtins (``hash``, ``id``)
+==================  ====================================================
+
+Polarity: the analysis **under-approximates**.  Unresolved calls
+contribute nothing, so every reported effect is provably present; a
+clean signature means "nothing provable", not "proven pure".  That is
+the right polarity for lint findings (no false alarms) — the runtime
+determinism suite remains the dynamic complement.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.analysis.callgraph import (
+    RNG_DRAW_METHODS,
+    CallGraph,
+    FunctionInfo,
+    _scoped_walk,
+    is_rng_receiver,
+)
+from repro.lint.analysis.imports import ImportGraph, resolve_external
+from repro.lint.astutil import dotted_name
+from repro.lint.context import ModuleContext
+
+EFFECT_RNG = "rng"
+EFFECT_PERF_COUNTER = "perf-counter"
+EFFECT_AMBIENT_RNG = "ambient-rng"
+EFFECT_WALLCLOCK = "wallclock"
+EFFECT_GLOBAL_WRITE = "global-write"
+EFFECT_IO = "io"
+EFFECT_ENV = "env"
+EFFECT_NONDET = "nondet-builtin"
+
+ALL_EFFECTS = (
+    EFFECT_RNG,
+    EFFECT_PERF_COUNTER,
+    EFFECT_AMBIENT_RNG,
+    EFFECT_WALLCLOCK,
+    EFFECT_GLOBAL_WRITE,
+    EFFECT_IO,
+    EFFECT_ENV,
+    EFFECT_NONDET,
+)
+
+#: Effects that break replay outright: the same (config, seed) can
+#: produce a different value on a different run/host/process.
+NON_REPLAY_EFFECTS = frozenset(
+    {EFFECT_AMBIENT_RNG, EFFECT_WALLCLOCK, EFFECT_ENV, EFFECT_NONDET}
+)
+
+#: Effects that make a callable unsafe to fan out across processes or
+#: to memoize by (config, seed): non-replay effects plus shared-state
+#: writes and I/O.
+IMPURE_EFFECTS = NON_REPLAY_EFFECTS | frozenset({EFFECT_GLOBAL_WRITE, EFFECT_IO})
+
+#: Canonical external dotted names → effect.  Matched exactly, then by
+#: longest dotted prefix (so ``secrets.token_hex`` hits ``secrets``).
+EXTERNAL_CALL_EFFECTS: dict[str, str] = {
+    "time.time": EFFECT_WALLCLOCK,
+    "time.time_ns": EFFECT_WALLCLOCK,
+    "time.ctime": EFFECT_WALLCLOCK,
+    "time.localtime": EFFECT_WALLCLOCK,
+    "time.gmtime": EFFECT_WALLCLOCK,
+    "time.strftime": EFFECT_WALLCLOCK,
+    "time.perf_counter": EFFECT_PERF_COUNTER,
+    "time.perf_counter_ns": EFFECT_PERF_COUNTER,
+    "time.monotonic": EFFECT_PERF_COUNTER,
+    "time.monotonic_ns": EFFECT_PERF_COUNTER,
+    "time.process_time": EFFECT_PERF_COUNTER,
+    "time.process_time_ns": EFFECT_PERF_COUNTER,
+    "datetime.datetime.now": EFFECT_WALLCLOCK,
+    "datetime.datetime.utcnow": EFFECT_WALLCLOCK,
+    "datetime.datetime.today": EFFECT_WALLCLOCK,
+    "datetime.date.today": EFFECT_WALLCLOCK,
+    "os.urandom": EFFECT_AMBIENT_RNG,
+    "os.getrandom": EFFECT_AMBIENT_RNG,
+    "uuid.uuid1": EFFECT_AMBIENT_RNG,
+    "uuid.uuid4": EFFECT_AMBIENT_RNG,
+    "secrets": EFFECT_AMBIENT_RNG,
+    "numpy.random": EFFECT_AMBIENT_RNG,
+    "random.SystemRandom": EFFECT_AMBIENT_RNG,
+    "os.getenv": EFFECT_ENV,
+    "os.environ.get": EFFECT_ENV,
+    "os.system": EFFECT_IO,
+    "os.popen": EFFECT_IO,
+    "os.remove": EFFECT_IO,
+    "os.unlink": EFFECT_IO,
+    "os.makedirs": EFFECT_IO,
+    "os.mkdir": EFFECT_IO,
+    "os.rmdir": EFFECT_IO,
+    "os.rename": EFFECT_IO,
+    "os.replace": EFFECT_IO,
+    "subprocess": EFFECT_IO,
+    "shutil": EFFECT_IO,
+    "repro.sim.rng.derive_rng": EFFECT_RNG,
+    "repro.sim.rng.derive_seed": EFFECT_RNG,
+    "repro.sim.rng.spawn_rngs": EFFECT_RNG,
+}
+
+#: ``random``-module functions drawing the shared ambient stream
+#: (mirrors rule R1's list).
+_AMBIENT_RANDOM_FUNCS = RNG_DRAW_METHODS | {"seed"}
+
+#: Builtins called bare.
+_BUILTIN_EFFECTS = {
+    "open": EFFECT_IO,
+    "print": EFFECT_IO,
+    "input": EFFECT_IO,
+    "breakpoint": EFFECT_IO,
+    "hash": EFFECT_NONDET,
+    "id": EFFECT_NONDET,
+}
+
+#: Attribute method names that perform file I/O on any receiver.
+_IO_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "unlink",
+        "mkdir",
+        "rmdir",
+        "touch",
+        "open",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "extend",
+        "insert",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+_EFFECTS_DECLARATION = re.compile(
+    r"^\s*Effects:\s*(?P<effects>[a-z0-9, \-]*?)\.?\s*$", re.IGNORECASE | re.MULTILINE
+)
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where an effect was introduced (a direct witness)."""
+
+    path: str
+    line: int
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.detail} at {self.path}:{self.line}"
+
+
+@dataclass
+class EffectAnalysis:
+    """Direct and transitive effect signatures for every project function."""
+
+    direct: dict[str, dict[str, Origin]] = field(default_factory=dict)
+    #: qualname → effect → direct :class:`Origin`, or the callee
+    #: qualname (str) the effect propagated from.
+    transitive: dict[str, dict[str, Origin | str]] = field(default_factory=dict)
+
+    def signature(self, qualname: str) -> frozenset[str]:
+        """The transitive effect set of *qualname* (empty if unknown)."""
+        return frozenset(self.transitive.get(qualname, {}))
+
+    def witness(self, qualname: str, effect: str) -> tuple[list[str], Origin | None]:
+        """The propagation chain for (*qualname*, *effect*).
+
+        Returns ``(via, origin)``: the list of callee qualnames the
+        effect travelled through (possibly empty) and the direct origin
+        at the end of the chain, if recorded.
+        """
+        via: list[str] = []
+        current = qualname
+        seen = {current}
+        while True:
+            entry = self.transitive.get(current, {}).get(effect)
+            if entry is None or isinstance(entry, Origin):
+                return via, entry
+            if entry in seen:  # pragma: no cover - cycle guard
+                return via, None
+            via.append(entry)
+            seen.add(entry)
+            current = entry
+
+    def render_witness(self, qualname: str, effect: str) -> str:
+        """``introduced by <origin>`` / ``via a -> b: <origin>`` text."""
+        via, origin = self.witness(qualname, effect)
+        origin_text = origin.render() if origin is not None else "unresolved origin"
+        if via:
+            return f"via {' -> '.join(via)}: {origin_text}"
+        return origin_text
+
+    def describe(self, qualname: str) -> str:
+        """A human-readable signature dump (``repro-lint effects``)."""
+        lines = [qualname]
+        signature = self.transitive.get(qualname)
+        if signature is None:
+            lines.append("  (unknown function)")
+            return "\n".join(lines)
+        if not signature:
+            lines.append("  (no provable effects: pure up to unresolved calls)")
+            return "\n".join(lines)
+        width = max(len(effect) for effect in signature)
+        for effect in sorted(signature):
+            lines.append(
+                f"  {effect.ljust(width)}  {self.render_witness(qualname, effect)}"
+            )
+        return "\n".join(lines)
+
+
+def declared_effects(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str] | None:
+    """The ``Effects: a, b`` declaration in *node*'s docstring, if any.
+
+    Declarations are upper bounds: extra declared effects are legal
+    (dynamic dispatch hides callees from the analyzer), but an inferred
+    effect missing from the declaration is R10 drift.  ``Effects:
+    none.`` declares the empty signature.
+    """
+    docstring = ast.get_docstring(node)
+    if not docstring:
+        return None
+    match = _EFFECTS_DECLARATION.search(docstring)
+    if match is None:
+        return None
+    spec = match.group("effects").strip()
+    if spec.lower() in ("", "none"):
+        return frozenset()
+    return frozenset(
+        part.strip().lower() for part in spec.split(",") if part.strip()
+    )
+
+
+def analyze_effects(imports: ImportGraph, graph: CallGraph) -> EffectAnalysis:
+    """Extract direct effects and run the propagation fixpoint."""
+    analysis = EffectAnalysis()
+    for qualname in sorted(graph.functions):
+        info = graph.functions[qualname]
+        context = imports.modules[info.module]
+        analysis.direct[qualname] = _direct_effects(info, context, graph)
+    # Fixpoint: union callee signatures until nothing changes.  The
+    # graph is small (a few thousand nodes) so the naive iteration is
+    # fine; witnesses keep the *first* discovery, which is as good as
+    # any for explaining a finding.
+    analysis.transitive = {
+        qualname: dict(effects) for qualname, effects in analysis.direct.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(graph.functions):
+            mine = analysis.transitive[qualname]
+            for callee in graph.callees(qualname):
+                for effect in sorted(analysis.transitive.get(callee, {})):
+                    if effect not in mine:
+                        mine[effect] = callee
+                        changed = True
+    return analysis
+
+
+# ----------------------------------------------------------------------
+# Direct-effect extraction
+# ----------------------------------------------------------------------
+
+
+def _module_level_names(context: ModuleContext) -> set[str]:
+    """Names bound at module top level (mutable shared state candidates)."""
+    names: set[str] = set()
+    for statement in context.tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+        elif isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            names.add(statement.target.id)
+    return names
+
+
+def _local_store_names(info: FunctionInfo) -> set[str]:
+    """Bare names the function itself binds (parameters + local stores)."""
+    names = {arg.arg for arg in _all_args(info.node.args)}
+    for node in _scoped_walk(info.node.body):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _all_args(arguments: ast.arguments) -> list[ast.arg]:
+    collected = (
+        list(arguments.posonlyargs) + list(arguments.args) + list(arguments.kwonlyargs)
+    )
+    if arguments.vararg is not None:
+        collected.append(arguments.vararg)
+    if arguments.kwarg is not None:
+        collected.append(arguments.kwarg)
+    return collected
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    """Peel subscripts/attributes down to the root ``Name``, if any."""
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _is_class_state_target(expr: ast.expr) -> bool:
+    """``cls.x``, ``self.__class__.x``, ``type(self).x`` store targets."""
+    if not isinstance(expr, ast.Attribute):
+        return False
+    value = expr.value
+    if isinstance(value, ast.Name) and value.id == "cls":
+        return True
+    if isinstance(value, ast.Attribute) and value.attr == "__class__":
+        return True
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "type"
+    ):
+        return True
+    return False
+
+
+def _direct_effects(
+    info: FunctionInfo, context: ModuleContext, graph: CallGraph
+) -> dict[str, Origin]:
+    effects: dict[str, Origin] = {}
+
+    def record(effect: str, node: ast.AST, detail: str) -> None:
+        if effect not in effects:
+            effects[effect] = Origin(
+                path=info.path, line=getattr(node, "lineno", info.line), detail=detail
+            )
+
+    module_names = _module_level_names(context)
+    local_names = _local_store_names(info)
+    global_declared: set[str] = set()
+    for node in _scoped_walk(info.node.body):
+        if isinstance(node, ast.Global):
+            global_declared.update(node.names)
+
+    shared_roots = (module_names | set(context.module_aliases)) - (
+        local_names - global_declared
+    )
+    class_names = {
+        class_info.name
+        for class_info in graph.classes.values()
+        if class_info.module == info.module
+    }
+
+    # --- call-based effects -------------------------------------------
+    for site in info.calls:
+        classification = _classify_call(site.dotted, site.external, info, context)
+        if classification is not None:
+            effect, detail = classification
+            record(effect, site.node, detail)
+        # Mutating method on shared state: ``CACHE.setdefault(...)`` …
+        head, _, tail = site.dotted.partition(".")
+        if (
+            tail
+            and "." not in tail
+            and tail in _MUTATOR_METHODS
+            and head in shared_roots
+            and head not in class_names
+        ):
+            record(
+                EFFECT_GLOBAL_WRITE,
+                site.node,
+                f"{site.dotted}() mutates module-level state '{head}'",
+            )
+
+    # --- statement-based effects --------------------------------------
+    for node in _scoped_walk(info.node.body):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+                if node.target is not None
+                else []
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in global_declared:
+                        record(
+                            EFFECT_GLOBAL_WRITE,
+                            node,
+                            f"assigns module-level name '{target.id}' (global)",
+                        )
+                    continue
+                if _is_class_state_target(target):
+                    record(
+                        EFFECT_GLOBAL_WRITE,
+                        node,
+                        "writes class-level state (shared by every instance)",
+                    )
+                    continue
+                root = _base_name(target)
+                if root is None or root in ("self",):
+                    continue
+                if root in class_names:
+                    record(
+                        EFFECT_GLOBAL_WRITE,
+                        node,
+                        f"writes class attribute on '{root}'",
+                    )
+                elif root in shared_roots:
+                    record(
+                        EFFECT_GLOBAL_WRITE,
+                        node,
+                        f"mutates module-level state '{root}'",
+                    )
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            written = dotted_name(node)
+            if written is None:
+                continue
+            canonical = resolve_external(context, written) or written
+            if canonical == "os.environ" or canonical.startswith("os.environ."):
+                record(EFFECT_ENV, node, "reads os.environ")
+
+    return effects
+
+
+def classify_call_effect(
+    site: "object", info: FunctionInfo, context: ModuleContext
+) -> tuple[str, str] | None:
+    """Public wrapper: the direct effect of one recorded call site."""
+    return _classify_call(site.dotted, site.external, info, context)
+
+
+def _classify_call(
+    dotted: str,
+    external: str | None,
+    info: FunctionInfo,
+    context: ModuleContext,
+) -> tuple[str, str] | None:
+    """Map one call to an effect, if its name proves one."""
+    head, _, tail = dotted.partition(".")
+    last = dotted.rsplit(".", 1)[-1]
+
+    # Seeded-stream draws: ``rng.choice``, ``self.rng.random``, aliases.
+    if "." in dotted and last in RNG_DRAW_METHODS:
+        receiver = dotted.rsplit(".", 1)[0]
+        if is_rng_receiver(receiver):
+            return EFFECT_RNG, f"{dotted}() draws from a seeded stream"
+    if "." not in dotted and dotted in info.rng_aliases:
+        return EFFECT_RNG, f"{dotted}() draws from a seeded stream (bound method)"
+
+    canonical = external if external is not None else dotted
+    # Ambient random module usage (exact: random.random, random.Random()).
+    root = canonical.split(".", 1)[0]
+    if root == "random":
+        remainder = canonical.partition(".")[2]
+        if remainder in _AMBIENT_RANDOM_FUNCS:
+            return EFFECT_AMBIENT_RNG, f"{canonical}() draws the ambient stream"
+        if remainder == "Random":
+            return EFFECT_RNG, f"{canonical}(seed) constructs a seeded stream"
+    # Longest-prefix match against the external table.
+    probe = canonical
+    while probe:
+        if probe in EXTERNAL_CALL_EFFECTS:
+            return EXTERNAL_CALL_EFFECTS[probe], f"{canonical}() call"
+        probe = probe.rpartition(".")[0]
+    # Bare builtins (unless shadowed by a module-level def).
+    if "." not in dotted and dotted in _BUILTIN_EFFECTS:
+        if dotted in context.from_imports or dotted in context.module_aliases:
+            return None
+        shadowed = any(
+            isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and statement.name == dotted
+            for statement in context.tree.body
+        )
+        if not shadowed:
+            return _BUILTIN_EFFECTS[dotted], f"builtin {dotted}() call"
+    # I/O-shaped attribute methods on any receiver (Path.write_text …).
+    if "." in dotted and last in _IO_METHODS:
+        return EFFECT_IO, f"{dotted}() performs file I/O"
+    if canonical.startswith("sys.stdout") or canonical.startswith("sys.stderr"):
+        return EFFECT_IO, f"{canonical}() writes a process stream"
+    return None

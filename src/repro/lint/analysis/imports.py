@@ -1,0 +1,116 @@
+"""Module naming and the whole-program import graph.
+
+The analysis layer's foundation: every linted file gets a stable
+*module name* (``repro.sim.engine`` for package files, a path-derived
+name for everything else), and an :class:`ImportGraph` records which
+linted modules import which.  Name resolution helpers translate local
+bindings (aliases, ``from`` imports, re-exports) back to canonical
+dotted names so the call graph and the effect analysis can reason
+about ``rnd.random()`` and ``from repro.perf import pmap_trials``
+without caring how the import was spelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import PurePath
+
+from repro.lint.context import ModuleContext
+
+
+def module_name_for(context: ModuleContext) -> str:
+    """A stable dotted module name for *context*.
+
+    Files under a ``repro`` directory get their real package name
+    (``src/repro/sim/engine.py`` → ``repro.sim.engine``,
+    ``__init__.py`` → the package itself); anything else (tests,
+    benchmarks, examples, fixtures) gets a path-derived name that is
+    unique per file, so a project mixing source and test trees never
+    collides.
+    """
+    parts = context.package_parts()
+    if parts:
+        pieces = ["repro", *parts[:-1]]
+        stem = PurePath(parts[-1]).stem
+        if stem != "__init__":
+            pieces.append(stem)
+        return ".".join(pieces)
+    path = PurePath(context.path)
+    pieces = [part for part in path.parts if part not in ("/", "\\")]
+    if pieces and pieces[-1].endswith(".py"):
+        pieces[-1] = PurePath(pieces[-1]).stem
+    return ".".join(pieces)
+
+
+def resolve_external(context: ModuleContext, dotted: str) -> str | None:
+    """Canonicalize *dotted* (as written) against the module's imports.
+
+    ``rnd.random`` with ``import random as rnd`` → ``random.random``;
+    ``perf_counter`` with ``from time import perf_counter`` →
+    ``time.perf_counter``; an unimported bare name returns ``None``.
+    The result is a best-effort canonical dotted name — callers match
+    it against known-effect tables.
+    """
+    head, _, tail = dotted.partition(".")
+    if head in context.module_aliases:
+        target = context.module_aliases[head]
+        return f"{target}.{tail}" if tail else target
+    if head in context.from_imports:
+        source_module, original = context.from_imports[head]
+        base = f"{source_module}.{original}"
+        return f"{base}.{tail}" if tail else base
+    return None
+
+
+@dataclass
+class ImportGraph:
+    """Edges between *linted* modules (external imports are dropped).
+
+    Attributes
+    ----------
+    modules: module name → its :class:`ModuleContext`.
+    edges: module name → set of linted module names it imports.
+    """
+
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def importers_of(self, module: str) -> list[str]:
+        """Linted modules that import *module*, sorted."""
+        return sorted(name for name, targets in self.edges.items() if module in targets)
+
+
+def build_import_graph(contexts: dict[str, ModuleContext]) -> ImportGraph:
+    """Build the import graph over *contexts* (module name → context)."""
+    graph = ImportGraph(modules=dict(contexts))
+    for name, context in contexts.items():
+        targets: set[str] = set()
+        for imported in context.module_aliases.values():
+            resolved = _closest_module(imported, contexts)
+            if resolved is not None and resolved != name:
+                targets.add(resolved)
+        for source_module, original in context.from_imports.values():
+            candidate = f"{source_module}.{original}"
+            if candidate in contexts:
+                targets.add(candidate)
+                continue
+            resolved = _closest_module(source_module, contexts)
+            if resolved is not None and resolved != name:
+                targets.add(resolved)
+        graph.edges[name] = targets
+    return graph
+
+
+def _closest_module(dotted: str, contexts: dict[str, ModuleContext]) -> str | None:
+    """The longest linted-module prefix of *dotted*, if any.
+
+    ``import repro.sim.engine`` should create an edge to
+    ``repro.sim.engine`` when that file is linted, or to ``repro.sim``
+    when only the package ``__init__`` is.
+    """
+    parts = dotted.split(".")
+    for length in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:length])
+        if candidate in contexts:
+            return candidate
+    return None

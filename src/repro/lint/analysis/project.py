@@ -1,0 +1,86 @@
+"""The whole-program context handed to project rules (R7–R10).
+
+One :class:`ProjectContext` per lint invocation: every parsed module,
+the import graph between them, the intra-package call graph, and the
+transitive effect signature of every function.  Project rules query
+it; the runner builds it lazily (only when a project rule is selected)
+and exactly once per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.lint.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+)
+from repro.lint.analysis.effects import EffectAnalysis, analyze_effects
+from repro.lint.analysis.imports import (
+    ImportGraph,
+    build_import_graph,
+    module_name_for,
+)
+from repro.lint.context import ModuleContext
+
+
+@dataclass
+class ProjectContext:
+    """Everything a whole-program rule needs, computed once."""
+
+    imports: ImportGraph
+    callgraph: CallGraph
+    effects: EffectAnalysis
+
+    @property
+    def modules(self) -> dict[str, ModuleContext]:
+        return self.imports.modules
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every project function, in qualname order."""
+        for qualname in sorted(self.callgraph.functions):
+            yield self.callgraph.functions[qualname]
+
+    def call_sites(self) -> Iterator[tuple[FunctionInfo, CallSite]]:
+        """Every (enclosing function, call site) pair, in stable order."""
+        for info in self.functions():
+            for site in info.calls:
+                yield info, site
+
+    def module_for(self, info: FunctionInfo) -> ModuleContext:
+        return self.imports.modules[info.module]
+
+    def resolve_callable_qualname(self, target: str) -> str | None:
+        """``module:Class.method`` / ``module:func`` → qualname, if known.
+
+        Accepts the CLI's ``repro.sim.engine:Engine.run`` spelling and
+        the dotted fallback ``repro.sim.engine.Engine.run``.
+        """
+        if target in self.callgraph.functions:
+            return target
+        if ":" not in target:
+            parts = target.split(".")
+            for split in range(len(parts) - 1, 0, -1):
+                candidate = ".".join(parts[:split]) + ":" + ".".join(parts[split:])
+                if candidate in self.callgraph.functions:
+                    return candidate
+        return None
+
+
+def build_project(contexts: Iterable[ModuleContext]) -> ProjectContext:
+    """Build the full analysis stack over parsed *contexts*.
+
+    Module-name collisions (two files mapping to the same dotted name,
+    possible only with synthetic trees) keep the first file seen —
+    deterministic because the runner feeds files in sorted order.
+    """
+    named: dict[str, ModuleContext] = {}
+    for context in contexts:
+        named.setdefault(module_name_for(context), context)
+    imports = build_import_graph(named)
+    callgraph = build_call_graph(imports)
+    effects = analyze_effects(imports, callgraph)
+    return ProjectContext(imports=imports, callgraph=callgraph, effects=effects)

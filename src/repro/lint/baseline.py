@@ -1,0 +1,101 @@
+"""The baseline ratchet: adopt new rules without a big-bang cleanup.
+
+A baseline file (``lint-baseline.json``, checked in at the repo root)
+records the *known* findings at the moment a rule landed.  A lint run
+with ``--baseline`` subtracts them: known findings are reported as
+context but do not fail the run; anything **new** still exits 1.  The
+ratchet direction is one-way by convention — regenerate the baseline
+(``make lint-baseline``) only to *shrink* it as known findings are
+fixed, never to absorb fresh ones.
+
+Identity is the finding's :meth:`~repro.lint.findings.Finding.fingerprint`
+— ``(path, rule, message)``, deliberately line-insensitive so a
+baselined finding survives edits that merely move code.  Duplicate
+fingerprints are matched by count: a baseline entry of 2 absorbs at
+most two identical findings; a third is new.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+#: Separator in serialized fingerprint keys; rule ids and paths never
+#: contain it, so the key round-trips unambiguously.
+_SEP = " :: "
+
+BASELINE_VERSION = 1
+
+
+def _key(finding: Finding) -> str:
+    return _SEP.join(finding.fingerprint())
+
+
+def fingerprint_counts(findings: Sequence[Finding]) -> dict[str, int]:
+    """Fingerprint-key → occurrence count for *findings*."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write *findings* as the new baseline at *path*."""
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": fingerprint_counts(findings),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Load a baseline written by :func:`write_baseline`.
+
+    Raises :class:`ValueError` on a malformed document so the CLI can
+    exit 2 with a usage error rather than silently gating on nothing.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed baseline {path}: {error}") from None
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), dict)
+    ):
+        raise ValueError(
+            f"malformed baseline {path}: expected "
+            f'{{"version": {BASELINE_VERSION}, "findings": {{...}}}}'
+        )
+    counts = document["findings"]
+    for key, count in counts.items():
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(f"malformed baseline {path}: bad count for {key!r}")
+    return dict(counts)
+
+
+def partition(
+    findings: Sequence[Finding], baseline: dict[str, int]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split *findings* into ``(new, known)`` against *baseline*.
+
+    Findings are consumed against baseline counts in sorted (location)
+    order, so the split is deterministic.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

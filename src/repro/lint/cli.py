@@ -2,11 +2,20 @@
 
 Usage::
 
-    repro-lint [paths ...] [--format text|json] [--select R1,R4]
+    repro-lint [paths ...] [--format text|json|sarif]
+               [--select R1,R4] [--ignore R6]
+               [--baseline lint-baseline.json] [--update-baseline]
     repro-lint --list-rules
+    repro-lint --explain R7
+    repro-lint effects MODULE:FUNC [--root src/repro]
 
 (Equivalently ``python -m repro lint ...``.)  With no paths the linter
-checks ``src/repro``.  Exit status: 0 clean, 1 findings, 2 usage error.
+checks ``src/repro``.  Exit status: 0 clean, 1 findings (after baseline
+subtraction), 2 usage error.
+
+``effects`` dumps the inferred transitive effect signature of one
+function — e.g. ``repro-lint effects repro.sim.engine:Engine.run`` —
+with the witness chain that introduces each effect.
 """
 
 from __future__ import annotations
@@ -16,9 +25,16 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.lint.baseline import load_baseline, partition, write_baseline
 from repro.lint.registry import all_rules
-from repro.lint.reporters import render_json, render_text
-from repro.lint.runner import lint_paths
+from repro.lint.reporters import render_json, render_sarif, render_text
+from repro.lint.runner import iter_python_files, lint_paths, load_module
+
+#: Default baseline location (repo root), used by ``--update-baseline``
+#: when ``--baseline`` is not given explicitly.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_RENDERERS = {"text": render_text, "json": render_json, "sarif": render_sarif}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,17 +44,22 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Static analysis enforcing the PODC'15 model invariants: "
             "seeded randomness, no wall clock, no salted hashes, protocol "
-            "isolation, frozen records, deterministic iteration."
+            "isolation, frozen records, deterministic iteration, and the "
+            "whole-program effect rules (parallel purity, RNG-stream "
+            "discipline, cache-key purity, effect-signature drift)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: src/repro)",
+        help=(
+            "files or directories to lint (default: src/repro); "
+            "or the subcommand 'effects MODULE:FUNC'"
+        ),
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -49,11 +70,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (e.g. R1,R4)",
     )
     parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip (e.g. R6,R10)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of known findings; baselined findings are "
+            "subtracted before reporting and do not affect the exit code"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "write the current findings to the baseline file "
+            f"(--baseline, default {DEFAULT_BASELINE}) and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="describe every rule and exit",
     )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print one rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--root",
+        default="src/repro",
+        metavar="PATH",
+        help="file set the 'effects' subcommand analyses (default: src/repro)",
+    )
     return parser
+
+
+def _split(spec: str | None) -> list[str] | None:
+    if not spec:
+        return None
+    return [part.strip() for part in spec.split(",") if part.strip()]
 
 
 def run(
@@ -61,6 +123,9 @@ def run(
     *,
     output_format: str = "text",
     select: str | None = None,
+    ignore: str | None = None,
+    baseline: str | None = None,
+    update_baseline: bool = False,
 ) -> int:
     """Lint *paths* and print a report; returns the process exit code."""
     targets = list(paths) or ["src/repro"]
@@ -68,18 +133,39 @@ def run(
     if missing:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    selected = (
-        [part.strip() for part in select.split(",") if part.strip()]
-        if select
-        else None
-    )
     try:
-        findings = lint_paths(targets, select=selected)
-    except ValueError as error:
+        findings = lint_paths(targets, select=_split(select), ignore=_split(ignore))
+    except (ValueError, FileNotFoundError) as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
-    renderer = render_json if output_format == "json" else render_text
-    print(renderer(findings))
+
+    baseline_path = baseline or (DEFAULT_BASELINE if update_baseline else None)
+    if update_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"repro-lint: wrote {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} to {baseline_path}"
+        )
+        return 0
+
+    known_count = 0
+    if baseline_path is not None:
+        try:
+            known = load_baseline(baseline_path)
+        except (OSError, ValueError) as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        findings, baselined = partition(findings, known)
+        known_count = len(baselined)
+
+    output = _RENDERERS[output_format](findings)
+    print(output)
+    if known_count and output_format == "text":
+        print(
+            f"(+ {known_count} baselined finding"
+            f"{'s' if known_count != 1 else ''} not shown; "
+            "shrink the baseline as they are fixed)"
+        )
     return 1 if findings else 0
 
 
@@ -91,12 +177,76 @@ def list_rules() -> int:
     return 0
 
 
+def explain(rule_id: str) -> int:
+    """Print one rule's full documentation (its module docstring)."""
+    rules = all_rules()
+    rule = rules.get(rule_id.upper())
+    if rule is None:
+        print(
+            f"repro-lint: unknown rule {rule_id!r}; known: {', '.join(rules)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.rule_id} — {rule.title}")
+    print(f"invariant: {rule.invariant}")
+    print()
+    print(rule.explain())
+    return 0
+
+
+def effects_command(target: str, root: str = "src/repro") -> int:
+    """Print the transitive effect signature of ``module:function``."""
+    from repro.lint.analysis import build_project
+
+    try:
+        files = iter_python_files([root])
+    except FileNotFoundError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+    if not files:
+        print(f"repro-lint: no python files under {root}", file=sys.stderr)
+        return 2
+    from repro.lint.findings import Finding
+
+    modules = [load_module(path) for path in files]
+    project = build_project(
+        module for module in modules if not isinstance(module, Finding)
+    )
+    qualname = project.resolve_callable_qualname(target)
+    if qualname is None:
+        print(
+            f"repro-lint: unknown function {target!r} "
+            f"(expected MODULE:FUNC, e.g. repro.sim.engine:Engine.run)",
+            file=sys.stderr,
+        )
+        return 2
+    print(project.effects.describe(qualname))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_rules:
         return list_rules()
-    return run(args.paths, output_format=args.format, select=args.select)
+    if args.explain is not None:
+        return explain(args.explain)
+    if args.paths and args.paths[0] == "effects":
+        if len(args.paths) != 2:
+            print(
+                "repro-lint: usage: repro-lint effects MODULE:FUNC [--root PATH]",
+                file=sys.stderr,
+            )
+            return 2
+        return effects_command(args.paths[1], root=args.root)
+    return run(
+        args.paths,
+        output_format=args.format,
+        select=args.select,
+        ignore=args.ignore,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,11 +3,20 @@
 A finding pins one model-invariant violation to a file, line, and
 column, named by the rule that produced it.  Findings sort by location
 so reports are stable regardless of rule execution order.
+
+Each finding carries a *severity* (``"error"`` or ``"warning"``) — the
+rule's default unless overridden at construction — and a *fingerprint*
+(path + rule + message, deliberately line-insensitive) used by the
+baseline workflow in :mod:`repro.lint.baseline` to recognise known
+findings across edits that merely move code around.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+
+#: The two finding severities, in increasing gravity.
+SEVERITIES = ("warning", "error")
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -19,9 +28,12 @@ class Finding:
     path: file the violation lives in (as passed to the linter).
     line: 1-based line number.
     col: 0-based column offset.
-    rule: rule identifier (``R1``..``R6``).
+    rule: rule identifier (``R1``..``R10``, or ``E0`` for files the
+        linter could not analyse).
     message: human-readable explanation, phrased against the model
         invariant the rule guards.
+    severity: ``"error"`` (gates CI) or ``"warning"`` (reported, and
+        mapped to the SARIF ``warning`` level, but advisory).
     """
 
     path: str
@@ -29,6 +41,11 @@ class Finding:
     col: int
     rule: str
     message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
 
     def render(self) -> str:
         """``path:line:col: RULE message`` — the text-report form."""
@@ -37,3 +54,13 @@ class Finding:
     def to_dict(self) -> dict[str, object]:
         """A JSON-serializable mapping (for the JSON reporter)."""
         return asdict(self)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The baseline identity of this finding.
+
+        Line and column are deliberately excluded so a baselined
+        finding survives unrelated edits above it; two findings with
+        the same rule and message in one file share a fingerprint and
+        are matched by count (see :mod:`repro.lint.baseline`).
+        """
+        return (self.path, self.rule, self.message)

@@ -3,16 +3,30 @@
 Rules are small classes, registered by the :func:`register` decorator at
 import time; the runner asks :func:`all_rules` for the full set.  Each
 rule carries its identifier, a one-line title, and the model invariant
-it enforces (surfaced by ``repro-lint --list-rules``).
+it enforces (surfaced by ``repro-lint --list-rules`` and the SARIF
+reporter's rule catalog).
+
+Two kinds of rule exist:
+
+- :class:`Rule` — per-file: ``check(module)`` sees one parsed
+  :class:`~repro.lint.context.ModuleContext` at a time (R1–R6).
+- :class:`ProjectRule` — whole-program: ``check_project(project)`` sees
+  a :class:`~repro.lint.analysis.ProjectContext` built over *every*
+  linted file (import graph, call graph, transitive effect signatures;
+  R7–R10).  The runner builds the project context once per invocation
+  and only when at least one project rule is selected.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Type, TypeVar
+from typing import TYPE_CHECKING, Iterator, Type, TypeVar
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis imports us)
+    from repro.lint.analysis import ProjectContext
 
 
 class Rule(abc.ABC):
@@ -20,24 +34,78 @@ class Rule(abc.ABC):
 
     Class attributes
     ----------------
-    rule_id: short identifier (``R1``..``R6``).
+    rule_id: short identifier (``R1``..``R10``).
     title: one-line name of the rule.
     invariant: the model assumption the rule machine-checks, phrased
         against the paper.
+    default_severity: severity stamped on findings unless the rule
+        overrides it per finding (``"error"`` or ``"warning"``).
     """
 
     rule_id: str = ""
     title: str = ""
     invariant: str = ""
+    default_severity: str = "error"
 
     @abc.abstractmethod
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         """Yield findings for *module* (suppressions applied later)."""
 
-    def finding(self, module: ModuleContext, line: int, col: int, message: str) -> Finding:
+    def finding(
+        self,
+        module: ModuleContext,
+        line: int,
+        col: int,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
         """Build a :class:`Finding` attributed to this rule."""
         return Finding(
-            path=module.path, line=line, col=col, rule=self.rule_id, message=message
+            path=module.path,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            severity=severity or self.default_severity,
+        )
+
+    def explain(self) -> str:
+        """The rule's full documentation (its module docstring)."""
+        import sys
+
+        doc = sys.modules[type(self).__module__].__doc__
+        return (doc or f"{self.rule_id} — {self.title}\n{self.invariant}").strip()
+
+
+class ProjectRule(Rule):
+    """A whole-program rule, run once over the full linted file set."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Project rules have no per-file pass."""
+        return iter(())
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings computed over the whole-program context."""
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` at an arbitrary project location."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.rule_id,
+            message=message,
+            severity=severity or self.default_severity,
         )
 
 
@@ -56,8 +124,15 @@ def register(cls: RuleType) -> RuleType:
     return cls
 
 
+def _rule_sort_key(rule_id: str) -> tuple[str, int]:
+    """Sort ``R2`` before ``R10`` (alphabetical order would not)."""
+    head = rule_id.rstrip("0123456789")
+    tail = rule_id[len(head) :]
+    return (head, int(tail) if tail else 0)
+
+
 def all_rules() -> dict[str, Rule]:
     """All registered rules, keyed by id, in id order."""
     import repro.lint.rules  # noqa: F401  (registers the built-in rules)
 
-    return dict(sorted(_RULES.items()))
+    return dict(sorted(_RULES.items(), key=lambda item: _rule_sort_key(item[0])))

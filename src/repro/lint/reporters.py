@@ -1,11 +1,26 @@
-"""Finding reporters: plain text for terminals, JSON for tooling."""
+"""Finding reporters: text for terminals, JSON for tooling, SARIF for CI.
+
+The SARIF document follows the OASIS SARIF 2.1.0 shape consumed by
+code-scanning UIs: one run, a tool descriptor whose rule catalog is the
+live registry (id, name, short description), and one result per
+finding.  :func:`validate_sarif` structurally checks that shape — it is
+run by the test suite (alongside a full JSON-Schema validation when
+``jsonschema`` is installed) and is cheap enough for callers to use as
+a sanity gate.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -34,3 +49,137 @@ def render_json(findings: Sequence[Finding]) -> str:
         "by_rule": dict(sorted(by_rule.items())),
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def sarif_document(findings: Sequence[Finding]) -> dict[str, Any]:
+    """The findings as a SARIF 2.1.0 document (as a mapping)."""
+    from repro import __version__
+    from repro.lint.registry import all_rules
+
+    rule_ids = sorted({finding.rule for finding in findings})
+    catalog = all_rules()
+    rules: list[dict[str, Any]] = []
+    index_of: dict[str, int] = {}
+    for rule_id, rule in catalog.items():
+        index_of[rule_id] = len(rules)
+        rules.append(
+            {
+                "id": rule_id,
+                "name": rule.title,
+                "shortDescription": {"text": rule.invariant},
+                "defaultConfiguration": {"level": rule.default_severity},
+            }
+        )
+    # Findings from outside the registry (E0 analysis errors) still need
+    # a catalog entry — SARIF viewers resolve results through ruleIndex.
+    for rule_id in rule_ids:
+        if rule_id not in index_of:
+            index_of[rule_id] = len(rules)
+            rules.append(
+                {
+                    "id": rule_id,
+                    "name": "analysis-error",
+                    "shortDescription": {
+                        "text": "the linter could not analyse this file"
+                    },
+                    "defaultConfiguration": {"level": "error"},
+                }
+            )
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": __version__,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as a serialized SARIF 2.1.0 document."""
+    return json.dumps(sarif_document(findings), indent=2, sort_keys=True)
+
+
+def validate_sarif(document: dict[str, Any]) -> list[str]:
+    """Structural SARIF 2.1.0 checks; returns a list of problems.
+
+    Not a replacement for the full JSON Schema (the test suite applies
+    that when ``jsonschema`` is available) — this covers the fields
+    code-scanning consumers actually dereference, with no dependencies.
+    """
+    problems: list[str] = []
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty list"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        driver = run.get("tool", {}).get("driver", {}) if isinstance(run, dict) else {}
+        if not driver.get("name"):
+            problems.append(f"{where}.tool.driver.name missing")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        for rule_index, rule in enumerate(rules):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{where}.tool.driver.rules[{rule_index}].id missing")
+            else:
+                rule_ids.add(rule["id"])
+        results = run.get("results") if isinstance(run, dict) else None
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be a list")
+            continue
+        for result_index, result in enumerate(results):
+            at = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                problems.append(f"{at} must be an object")
+                continue
+            if not result.get("ruleId"):
+                problems.append(f"{at}.ruleId missing")
+            elif rule_ids and result["ruleId"] not in rule_ids:
+                problems.append(f"{at}.ruleId not in the rule catalog")
+            if result.get("level") not in ("none", "note", "warning", "error"):
+                problems.append(f"{at}.level invalid")
+            if not result.get("message", {}).get("text"):
+                problems.append(f"{at}.message.text missing")
+            for loc_index, location in enumerate(result.get("locations", [])):
+                physical = location.get("physicalLocation", {})
+                if not physical.get("artifactLocation", {}).get("uri"):
+                    problems.append(
+                        f"{at}.locations[{loc_index}] artifactLocation.uri missing"
+                    )
+                region = physical.get("region", {})
+                start = region.get("startLine")
+                if not isinstance(start, int) or start < 1:
+                    problems.append(
+                        f"{at}.locations[{loc_index}] region.startLine invalid"
+                    )
+    return problems

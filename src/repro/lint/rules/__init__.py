@@ -3,13 +3,21 @@
 Importing this package registers every rule with
 :mod:`repro.lint.registry`.  Each module holds one rule; the rule's
 docstring states the model invariant it guards (mirrored in
-``docs/lint.md``).
+``docs/lint.md`` and printed by ``repro-lint --explain RULE``).
+
+R1–R6 are per-file rules; R7–R10 are whole-program rules built on
+:mod:`repro.lint.analysis` (import graph → call graph → transitive
+effect signatures).
 """
 
 from repro.lint.rules import (  # noqa: F401  (import registers the rules)
     ambient_randomness,
+    cache_purity,
+    effect_drift,
     frozen_mutation,
+    parallel_purity,
     protocol_isolation,
+    rng_discipline,
     salted_hash,
     unordered_iteration,
     wallclock,
@@ -17,8 +25,12 @@ from repro.lint.rules import (  # noqa: F401  (import registers the rules)
 
 __all__ = [
     "ambient_randomness",
+    "cache_purity",
+    "effect_drift",
     "frozen_mutation",
+    "parallel_purity",
     "protocol_isolation",
+    "rng_discipline",
     "salted_hash",
     "unordered_iteration",
     "wallclock",

@@ -1,0 +1,161 @@
+"""R9 — cache-key purity: experiment outputs are functions of (config, seed).
+
+Every registered experiment (``@register(...)`` from
+:mod:`repro.experiments.registry`, or a hand-built
+``ExperimentSpec(run=...)``) produces a :class:`Table` whose rows become
+campaign records and JSONL telemetry, keyed by the experiment id, its
+config, and the seed.  Downstream tooling — campaign resume, telemetry
+diffing, the paper's replication tables — treats those records as
+*cacheable*: re-running the same (config, seed) must reproduce the same
+rows byte-for-byte.
+
+That contract breaks if the run function's reachable call graph touches
+non-replay state: wallclock reads stamp values that differ per run,
+ambient randomness decouples rows from the seed, environment reads make
+records host-dependent, and salted builtins (``hash``) shuffle values
+per process.  Mutating module/class-level state is equally banned —
+the output would then depend on *how many* runs came before, not on
+the key.  All of these are flagged with the witness chain down to the
+introducing line.
+
+Deliberately allowed: seeded draws (``rng`` — that is the whole point),
+monotonic timing (``perf-counter`` — reporting-only by R2's contract),
+and I/O.  A run function may legitimately stream progress or write its
+own artifacts; I/O does not change the *values* in the returned Table,
+so it does not poison the cache key.  (Submitting an I/O-performing
+trial to the parallel layer is a different contract — R7 owns that.)
+
+Fix it by deriving every value from the ``seed`` argument via
+``repro.sim.rng.derive_rng``/``trial_seeds``, passing config explicitly
+instead of reading ``os.environ``, and keeping accumulators local to
+the run function (return data, don't mutate module state).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.analysis import (
+    EFFECT_GLOBAL_WRITE,
+    NON_REPLAY_EFFECTS,
+    ProjectContext,
+)
+from repro.lint.analysis.callgraph import FunctionInfo, resolve_callable_expr
+from repro.lint.analysis.imports import resolve_external
+from repro.lint.astutil import dotted_name
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+#: Effects that poison a (config, seed)-keyed record.
+RECORD_POISONING_EFFECTS = NON_REPLAY_EFFECTS | frozenset({EFFECT_GLOBAL_WRITE})
+
+#: Canonical spellings of the experiment-registration decorator.
+REGISTER_EXTERNAL = frozenset(
+    {
+        "repro.experiments.registry.register",
+        "repro.experiments.register",
+    }
+)
+
+#: Canonical spellings of the spec constructor (``run=`` feeds records).
+SPEC_EXTERNAL = frozenset(
+    {
+        "repro.experiments.harness.ExperimentSpec",
+        "repro.experiments.ExperimentSpec",
+        "repro.experiments.registry.ExperimentSpec",
+    }
+)
+
+
+@register
+class CacheKeyPurityRule(ProjectRule):
+    """Flag registered experiment runners with record-poisoning effects."""
+
+    rule_id = "R9"
+    title = "cache-key-purity"
+    invariant = (
+        "rows emitted by registered experiments are pure functions of "
+        "(experiment id, config, seed), so campaign records and "
+        "telemetry replay byte-for-byte"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info, how in self._record_feeders(project):
+            signature = project.effects.signature(info.qualname)
+            for effect in sorted(signature & RECORD_POISONING_EFFECTS):
+                yield self.project_finding(
+                    info.path,
+                    info.line,
+                    info.node.col_offset,
+                    f"'{info.qualname}' feeds (config, seed)-keyed records "
+                    f"({how}) but has '{effect}' "
+                    f"({project.effects.render_witness(info.qualname, effect)}); "
+                    "derive every value from the seed argument and keep "
+                    "accumulators local so the records replay",
+                )
+
+    # ------------------------------------------------------------------
+
+    def _record_feeders(
+        self, project: ProjectContext
+    ) -> Iterator[tuple[FunctionInfo, str]]:
+        """Run functions whose Table rows become keyed records."""
+        seen: set[str] = set()
+        for qualname in sorted(project.callgraph.functions):
+            info = project.callgraph.functions[qualname]
+            context = project.module_for(info)
+            for decorator in info.node.decorator_list:
+                target = decorator.func if isinstance(decorator, ast.Call) else decorator
+                written = dotted_name(target)
+                if written is None:
+                    continue
+                canonical = resolve_external(context, written) or written
+                if canonical in REGISTER_EXTERNAL and qualname not in seen:
+                    seen.add(qualname)
+                    yield info, "registered via @register"
+        # ``ExperimentSpec(run=...)`` constructions, anywhere in a module
+        # (including at module top level, where no call site is recorded
+        # because the call graph only covers function bodies).
+        for module_name in sorted(project.imports.modules):
+            context = project.imports.modules[module_name]
+            scope = _module_scope(module_name, context)
+            for node in ast.walk(context.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                written = dotted_name(node.func)
+                if written is None:
+                    continue
+                canonical = resolve_external(context, written) or written
+                if canonical not in SPEC_EXTERNAL:
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "run":
+                        continue
+                    target = resolve_callable_expr(
+                        project.callgraph, project.imports, scope, keyword.value
+                    )
+                    if target is None or target in seen:
+                        continue
+                    run_info = project.callgraph.functions.get(target)
+                    if run_info is not None:
+                        seen.add(target)
+                        yield run_info, "passed as ExperimentSpec(run=...)"
+
+
+def _module_scope(module_name: str, context) -> FunctionInfo:
+    """A synthetic :class:`FunctionInfo` standing in for module scope.
+
+    Lets :func:`resolve_callable_expr` (which resolves relative to an
+    enclosing function) resolve names written at module top level.
+    """
+    placeholder = ast.parse("def _module_scope(): pass").body[0]
+    return FunctionInfo(
+        qualname=f"{module_name}:<module>",
+        module=module_name,
+        path=context.path,
+        name="<module>",
+        local="<module>",
+        cls=None,
+        node=placeholder,
+    )

@@ -1,0 +1,95 @@
+"""R10 — effect-signature drift: declared contracts must cover reality.
+
+Engine backend entry points carry an ``Effects:`` line in their
+docstring — ``Effects: rng, perf-counter.`` — declaring the effect
+budget callers may rely on.  The declaration is the *contract* the
+vectorized-backend roadmap item swaps implementations against: any
+backend reachable from ``Engine.run`` must stay inside the same budget
+or parallel trials and replay silently diverge.
+
+This rule keeps those declarations honest in both directions it can
+check statically:
+
+* **Drift (error).**  The analyzer infers an effect the declaration
+  does not list — the docstring promises less than the code does.
+  The finding carries the witness chain down to the line that
+  introduces the undeclared effect.  Either the code regressed (fix
+  it) or the contract legitimately grew (update the declaration, and
+  every caller's assumptions with it).
+* **Missing declaration (error).**  A required entry point
+  (``Engine.run``, ``Engine.step``) has no ``Effects:`` line at all.
+  Entry points without a stated budget cannot be checked, so the
+  contract is mandatory there.
+
+Declarations are **upper bounds**, not exact signatures: declaring an
+effect the analyzer cannot prove is legal, because dynamic dispatch
+(protocol objects, injected callbacks) hides callees from the static
+call graph.  ``Effects: none.`` declares the empty budget.
+
+Fix drift by removing the offending effect (see the witness chain) or,
+if the new effect is intentional, editing the ``Effects:`` line —
+the diff then shows the contract change to reviewers explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.analysis import ALL_EFFECTS, ProjectContext, declared_effects
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+#: Entry points that MUST carry an ``Effects:`` declaration.
+REQUIRED_DECLARATIONS = (
+    "repro.sim.engine:Engine.run",
+    "repro.sim.engine:Engine.step",
+)
+
+
+@register
+class EffectDriftRule(ProjectRule):
+    """Flag functions whose inferred effects exceed their declaration."""
+
+    rule_id = "R10"
+    title = "effect-signature-drift"
+    invariant = (
+        "every Effects: declaration is an upper bound on the inferred "
+        "transitive signature, and engine entry points always declare one"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        known = frozenset(ALL_EFFECTS)
+        for qualname in sorted(project.callgraph.functions):
+            info = project.callgraph.functions[qualname]
+            declared = declared_effects(info.node)
+            if declared is None:
+                if qualname in REQUIRED_DECLARATIONS:
+                    yield self.project_finding(
+                        info.path,
+                        info.line,
+                        info.node.col_offset,
+                        f"'{qualname}' is an engine entry point and must "
+                        "declare its effect budget with an 'Effects: ...' "
+                        "docstring line (e.g. 'Effects: rng, perf-counter.')",
+                    )
+                continue
+            for unknown in sorted(declared - known):
+                yield self.project_finding(
+                    info.path,
+                    info.line,
+                    info.node.col_offset,
+                    f"'{qualname}' declares unknown effect '{unknown}'; "
+                    f"known effects: {', '.join(ALL_EFFECTS)}",
+                )
+            inferred = project.effects.signature(qualname)
+            for effect in sorted(inferred - declared):
+                yield self.project_finding(
+                    info.path,
+                    info.line,
+                    info.node.col_offset,
+                    f"'{qualname}' declares 'Effects: "
+                    f"{', '.join(sorted(declared)) or 'none'}' but the "
+                    f"analyzer proves '{effect}' "
+                    f"({project.effects.render_witness(qualname, effect)}); "
+                    "remove the effect or widen the declaration",
+                )

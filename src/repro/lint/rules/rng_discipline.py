@@ -1,0 +1,193 @@
+"""R8 — RNG-stream discipline: draws must replay in a fixed order.
+
+A seeded stream replays only if the *sequence* of draws is itself a
+pure function of (config, seed).  Two code shapes silently break that
+— both were caught (at the purely syntactic level) twice by R6 during
+PR 1, in the lower-bound games:
+
+1. **Draws inside unordered iteration.**  ``for v in vertices:
+   rng.random()`` where ``vertices`` is a set: the draw *order* follows
+   the set's layout, which is salted per process for strings — the same
+   seed yields different streams on replay.  R6 flags set iteration it
+   can see locally; this rule additionally follows the call graph, so
+   iterating over a call to a function *annotated* ``-> set[...]`` in
+   another module is caught too, and the finding lands on the draw
+   (the stream corruption), not just the loop.
+
+2. **Draws guarded by non-replay state.**  ``if time.time() > deadline:
+   rng.choice(...)`` — whether the draw happens at all now depends on
+   wallclock/environment/ambient state, so every *subsequent* draw from
+   the stream shifts between runs.  The guard's taint is computed
+   transitively: a guard calling a helper whose effect signature
+   contains ``wallclock``/``env``/``ambient-rng``/``nondet-builtin``
+   is just as flagged as a literal ``time.time()``.
+
+Fix it by sorting the iterable (``sorted(...)``) before drawing inside
+it, and by deriving branch decisions from config/seed state (slot
+counters, trial indices) rather than ambient state — or draw
+unconditionally and discard, keeping the stream aligned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.analysis import NON_REPLAY_EFFECTS, EFFECT_RNG, ProjectContext
+from repro.lint.analysis.callgraph import CallSite, FunctionInfo, _scoped_walk
+from repro.lint.analysis.effects import classify_call_effect
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules.unordered_iteration import _ScopeInfo
+
+
+@register
+class RngStreamDisciplineRule(ProjectRule):
+    """Flag RNG draws whose occurrence or order is not replayable."""
+
+    rule_id = "R8"
+    title = "rng-stream-discipline"
+    invariant = (
+        "the sequence of draws from every seeded stream is a pure "
+        "function of (config, seed): never ordered by set layout, "
+        "never gated on non-replay state"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.functions():
+            context = project.module_for(info)
+            sites = {id(site.node): site for site in info.calls}
+            scope = _ScopeInfo(info.node.body, info.node.args)
+            for node in _scoped_walk(info.node.body):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    yield from self._check_unordered_loop(
+                        project, info, context, sites, scope, node
+                    )
+                elif isinstance(node, (ast.If, ast.While)):
+                    yield from self._check_nondet_guard(
+                        project, info, context, sites, node
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _check_unordered_loop(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        context: ModuleContext,
+        sites: dict[int, CallSite],
+        scope: "_ScopeInfo",
+        loop: ast.For | ast.AsyncFor,
+    ) -> Iterator[Finding]:
+        reason = None
+        if scope.is_set_valued(loop.iter):
+            reason = "a set-valued expression"
+        elif isinstance(loop.iter, ast.Call):
+            site = sites.get(id(loop.iter))
+            if site is not None and site.resolved is not None:
+                callee = project.callgraph.functions.get(site.resolved)
+                if callee is not None and callee.returns_set:
+                    reason = f"'{site.resolved}', which returns a set"
+        if reason is None:
+            return
+        for draw_node, label in self._draws_in(project, info, context, sites, loop.body):
+            yield self.project_finding(
+                info.path,
+                draw_node.lineno,
+                draw_node.col_offset,
+                f"{label} inside iteration over {reason}: the draw order "
+                "follows the set's (process-salted) layout, so the stream "
+                "does not replay; sort the iterable before drawing in it",
+            )
+
+    def _check_nondet_guard(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        context: ModuleContext,
+        sites: dict[int, CallSite],
+        branch: ast.If | ast.While,
+    ) -> Iterator[Finding]:
+        taint = self._guard_taint(project, info, context, sites, branch.test)
+        if taint is None:
+            return
+        body: list[ast.stmt] = list(branch.body) + list(branch.orelse)
+        for draw_node, label in self._draws_in(project, info, context, sites, body):
+            yield self.project_finding(
+                info.path,
+                draw_node.lineno,
+                draw_node.col_offset,
+                f"{label} is guarded by non-replay state ({taint}): whether "
+                "the draw happens differs between runs, shifting every "
+                "later draw from the stream; gate on config/seed-derived "
+                "state instead",
+            )
+
+    # ------------------------------------------------------------------
+
+    def _guard_taint(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        context: ModuleContext,
+        sites: dict[int, CallSite],
+        test: ast.expr,
+    ) -> str | None:
+        """Why *test* depends on non-replay state, or ``None``."""
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call):
+                site = sites.get(id(node))
+                if site is None:
+                    continue
+                classified = classify_call_effect(site, info, context)
+                if classified is not None and classified[0] in NON_REPLAY_EFFECTS:
+                    return f"{site.dotted}() is '{classified[0]}'"
+                if site.resolved is not None:
+                    tainted = sorted(
+                        project.effects.signature(site.resolved) & NON_REPLAY_EFFECTS
+                    )
+                    if tainted:
+                        return (
+                            f"{site.dotted}() transitively has "
+                            f"'{tainted[0]}' "
+                            f"({project.effects.render_witness(site.resolved, tainted[0])})"
+                        )
+            elif isinstance(node, ast.Attribute):
+                from repro.lint.analysis import resolve_external
+                from repro.lint.astutil import dotted_name
+
+                written = dotted_name(node)
+                if written is None:
+                    continue
+                canonical = resolve_external(context, written) or written
+                if canonical == "os.environ" or canonical.startswith("os.environ."):
+                    return "reads os.environ"
+        return None
+
+    def _draws_in(
+        self,
+        project: ProjectContext,
+        info: FunctionInfo,
+        context: ModuleContext,
+        sites: dict[int, CallSite],
+        body: list[ast.stmt],
+    ) -> Iterator[tuple[ast.Call, str]]:
+        """RNG draws (direct or through resolved callees) in *body*."""
+        for node in _scoped_walk(body):
+            if not isinstance(node, ast.Call):
+                continue
+            site = sites.get(id(node))
+            if site is None:
+                continue
+            classified = classify_call_effect(site, info, context)
+            if classified is not None and classified[0] == EFFECT_RNG:
+                yield node, f"seeded draw {site.dotted}()"
+            elif (
+                site.resolved is not None
+                and EFFECT_RNG in project.effects.signature(site.resolved)
+            ):
+                yield node, (
+                    f"{site.dotted}() (draws transitively via "
+                    f"{project.effects.render_witness(site.resolved, EFFECT_RNG)})"
+                )

@@ -3,6 +3,18 @@
 :func:`lint_paths` is the programmatic entry point (the test suite's
 self-check calls it directly); the CLI in :mod:`repro.lint.cli` is a
 thin argument-parsing layer over it.
+
+Per-file rules (R1–R6) run module by module.  Whole-program rules
+(R7–R10) need every module parsed first: when at least one is selected,
+the runner builds a single :class:`~repro.lint.analysis.ProjectContext`
+over the parsed set and runs them once.  Parsed modules are cached
+process-wide keyed by ``(path, mtime_ns, size)`` — the per-file pass,
+the project pass, and repeated invocations (the test suite lints
+``src/repro`` many times) all reuse one parse per file revision.
+
+Files the linter cannot analyse do not crash the run: unreadable,
+non-UTF-8, and syntactically invalid files each surface as a single
+``E0`` finding at the file's first line.
 """
 
 from __future__ import annotations
@@ -12,10 +24,16 @@ from typing import Iterable, Sequence
 
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules
+from repro.lint.registry import ProjectRule, Rule, all_rules
 
 #: Directory names never descended into.
 SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+#: Parsed-module cache: resolved path → (mtime_ns, size, parsed module
+#: or its E0 finding).  Keyed on file identity, not invocation, so the
+#: self-check suite's repeated lints of ``src/repro`` parse each file
+#: once.
+_CACHE: dict[str, tuple[int, int, ModuleContext | Finding]] = {}
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -38,22 +56,63 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(files)
 
 
-def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
-    """Run *rules* (default: all) over one file; suppressions applied."""
-    chosen = list(rules) if rules is not None else list(all_rules().values())
-    source = Path(path).read_text(encoding="utf-8")
+def load_module(path: str | Path) -> ModuleContext | Finding:
+    """Parse *path*, cached by ``(mtime_ns, size)``.
+
+    Returns the parsed :class:`ModuleContext`, or the single ``E0``
+    :class:`Finding` describing why the file cannot be analysed
+    (missing/unreadable, not UTF-8, or a syntax error).
+    """
+    target = Path(path)
+    key = str(target)
     try:
-        module = ModuleContext.parse(str(path), source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=str(path),
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                rule="E0",
-                message=f"syntax error: {error.msg}",
-            )
-        ]
+        stat = target.stat()
+        identity = (stat.st_mtime_ns, stat.st_size)
+    except OSError as error:
+        return _error_finding(key, f"unreadable file: {error.strerror or error}")
+    cached = _CACHE.get(key)
+    if cached is not None and cached[:2] == identity:
+        return cached[2]
+    result = _parse(key, target)
+    _CACHE[key] = (*identity, result)
+    return result
+
+
+def _parse(key: str, target: Path) -> ModuleContext | Finding:
+    try:
+        source = target.read_text(encoding="utf-8")
+    except UnicodeDecodeError:
+        return _error_finding(key, "not valid UTF-8; cannot analyse")
+    except OSError as error:
+        return _error_finding(key, f"unreadable file: {error.strerror or error}")
+    try:
+        return ModuleContext.parse(key, source)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", None) or 1
+        offset = getattr(error, "offset", None) or 1
+        message = getattr(error, "msg", None) or str(error)
+        return _error_finding(key, f"syntax error: {message}", line, offset - 1)
+
+
+def _error_finding(path: str, message: str, line: int = 1, col: int = 0) -> Finding:
+    return Finding(path=path, line=line, col=col, rule="E0", message=message)
+
+
+def clear_cache() -> None:
+    """Drop every cached parse (test isolation hook)."""
+    _CACHE.clear()
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Run per-file *rules* (default: all) over one file.
+
+    Suppression comments are applied; whole-program rules contribute
+    nothing here (they need the full file set — see :func:`lint_paths`).
+    """
+    chosen = list(rules) if rules is not None else list(all_rules().values())
+    module = load_module(path)
+    if isinstance(module, Finding):
+        return [module]
     findings: set[Finding] = set()
     for rule in chosen:
         for finding in rule.check(module):
@@ -62,8 +121,31 @@ def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Fin
     return sorted(findings)
 
 
+def _choose_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    rules = all_rules()
+    wanted = set(rules)
+    if select is not None:
+        requested = {rule_id.upper() for rule_id in select}
+        unknown = requested - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        wanted = requested
+    if ignore is not None:
+        dropped = {rule_id.upper() for rule_id in ignore}
+        unknown = dropped - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        wanted -= dropped
+    return [rule for rule_id, rule in rules.items() if rule_id in wanted]
+
+
 def lint_paths(
-    paths: Iterable[str | Path], *, select: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
 ) -> list[Finding]:
     """Lint every python file under *paths*.
 
@@ -73,17 +155,46 @@ def lint_paths(
         Files and/or directories.
     select:
         Optional rule ids to restrict to (e.g. ``["R1", "R4"]``).
+    ignore:
+        Optional rule ids to drop from the selected set.
     """
-    rules = all_rules()
-    if select is not None:
-        wanted = {rule_id.upper() for rule_id in select}
-        unknown = wanted - set(rules)
-        if unknown:
-            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
-        chosen = [rule for rule_id, rule in rules.items() if rule_id in wanted]
-    else:
-        chosen = list(rules.values())
-    findings: list[Finding] = []
+    chosen = _choose_rules(select, ignore)
+    per_file = [rule for rule in chosen if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in chosen if isinstance(rule, ProjectRule)]
+
+    findings: set[Finding] = set()
+    contexts: dict[str, ModuleContext] = {}
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, chosen))
+        module = load_module(path)
+        if isinstance(module, Finding):
+            findings.add(module)
+            continue
+        contexts[module.path] = module
+        for rule in per_file:
+            for finding in rule.check(module):
+                if not module.is_suppressed(finding.line, finding.rule):
+                    findings.add(finding)
+
+    if project_rules and contexts:
+        findings |= _run_project_rules(project_rules, contexts)
     return sorted(findings)
+
+
+def _run_project_rules(
+    rules: Sequence[ProjectRule], contexts: dict[str, ModuleContext]
+) -> set[Finding]:
+    from repro.lint.analysis import build_project
+
+    project = build_project(
+        contexts[path] for path in sorted(contexts)
+    )
+    findings: set[Finding] = set()
+    for rule in rules:
+        for finding in rule.check_project(project):
+            module = contexts.get(finding.path)
+            if module is not None and module.is_suppressed(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.add(finding)
+    return findings

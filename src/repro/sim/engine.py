@@ -168,7 +168,10 @@ class Engine:
         return all(protocol.done for protocol in self.protocols)
 
     def step(self) -> None:
-        """Execute one synchronous slot."""
+        """Execute one synchronous slot.
+
+        Effects: rng, perf-counter.
+        """
         slot = self.slot
         num_nodes = self.network.num_nodes
         probe = self._probe
@@ -469,6 +472,8 @@ class Engine:
         :meth:`_fast_path_eligible`), the run uses a specialized kernel
         that produces bit-identical results faster; whether it engaged
         is recorded in :attr:`fast_path_engaged`.
+
+        Effects: rng, perf-counter.
         """
         condition = stop_when if stop_when is not None else (lambda engine: engine.all_done)
         probe = self._probe

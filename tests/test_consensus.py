@@ -69,7 +69,7 @@ class TestRunConsensus:
             result = run_consensus(net, inputs, seed=seed)
             assert result.decided
             expected = MajorityAggregator.winner(
-                {v: inputs.count(v) for v in set(inputs)}
+                {v: inputs.count(v) for v in sorted(set(inputs))}
             )
             assert result.decision == expected
 

@@ -8,6 +8,7 @@ self-check that the shipped sources pass every rule.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import textwrap
 
@@ -448,9 +449,348 @@ class TestSuppression:
         assert "R3" not in rules_hit(findings)
 
 
+class TestR7ParallelPurity:
+    INJECTED_MUTATION = """
+        from repro.perf import pmap_trials
+
+        RESULTS = []
+
+        def trial(seed):
+            RESULTS.append(seed)
+            return seed * 2
+
+        def sweep(seeds):
+            return pmap_trials(trial, [(s,) for s in seeds])
+        """
+
+    def test_shared_state_mutation_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.INJECTED_MUTATION)
+        assert "R7" in rules_hit(findings)
+        (finding,) = [f for f in findings if f.rule == "R7"]
+        assert "global-write" in finding.message
+        assert "trial" in finding.message
+
+    def test_injected_mutation_invisible_to_per_file_rules(self, tmp_path):
+        """The acceptance check: R1-R6 alone miss the shared-state race."""
+        findings = lint_snippet(
+            tmp_path,
+            self.INJECTED_MUTATION,
+            select=["R1", "R2", "R3", "R4", "R5", "R6"],
+        )
+        assert not findings
+
+    def test_ambient_effect_through_helper_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            from repro.experiments.harness import map_trials
+
+            def stamp():
+                return time.time()
+
+            def trial(seed):
+                return stamp()
+
+            def sweep(seeds):
+                return map_trials(trial, seeds)
+            """,
+            select=["R7"],
+        )
+        assert rules_hit(findings) == {"R7"}
+        (finding,) = findings
+        assert "wallclock" in finding.message
+        assert "via" in finding.message  # witness chain through stamp()
+
+    def test_partial_submission_unwrapped(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from functools import partial
+
+            from repro.perf import pmap_trials
+
+            COUNTS = {}
+
+            def trial(n, seed):
+                COUNTS[seed] = n
+                return n
+
+            def sweep(seeds):
+                return pmap_trials(partial(trial, 8), [(s,) for s in seeds])
+            """,
+            select=["R7"],
+        )
+        assert rules_hit(findings) == {"R7"}
+
+    def test_campaign_measure_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.experiments.campaign import Campaign
+
+            SEEN = set()
+
+            def measure(config, seed):
+                SEEN.add(seed)
+                return seed
+
+            def build():
+                return Campaign(name="sweep", measure=measure)
+            """,
+            select=["R7"],
+        )
+        assert rules_hit(findings) == {"R7"}
+
+    def test_pure_trial_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.perf import pmap_trials
+            from repro.sim.rng import derive_rng
+
+            def trial(seed):
+                rng = derive_rng(seed, "trial")
+                return rng.random()
+
+            def sweep(seeds):
+                return pmap_trials(trial, [(s,) for s in seeds])
+            """,
+            select=["R7"],
+        )
+        assert not findings
+
+
+class TestR8RngDiscipline:
+    def test_draw_inside_set_iteration_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng):
+                pending = {3, 1, 2}
+                for item in pending:
+                    rng.random()
+            """,
+            select=["R8"],
+        )
+        assert rules_hit(findings) == {"R8"}
+
+    def test_draw_inside_set_returning_callee_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def frontier(n) -> set[int]:
+                return {i * 7 % n for i in range(n)}
+
+            def walk(rng, n):
+                for node in frontier(n):
+                    rng.choice([0, 1])
+            """,
+            select=["R8"],
+        )
+        assert rules_hit(findings) == {"R8"}
+        (finding,) = findings
+        assert "returns a set" in finding.message
+
+    def test_draw_under_wallclock_guard_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def maybe(rng, deadline):
+                if time.time() > deadline:
+                    return rng.random()
+                return 0.0
+            """,
+            select=["R8"],
+        )
+        assert rules_hit(findings) == {"R8"}
+        (finding,) = findings
+        assert "wallclock" in finding.message
+
+    def test_draw_under_transitively_tainted_guard_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import os
+
+            def debug_enabled():
+                return os.getenv("DEBUG") == "1"
+
+            def maybe(rng):
+                if debug_enabled():
+                    return rng.random()
+                return 0.0
+            """,
+            select=["R8"],
+        )
+        assert rules_hit(findings) == {"R8"}
+        (finding,) = findings
+        assert "env" in finding.message
+
+    def test_sorted_iteration_and_seed_guard_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def drain(rng, slot):
+                pending = {3, 1, 2}
+                for item in sorted(pending):
+                    rng.random()
+                if slot % 2 == 0:
+                    rng.random()
+            """,
+            select=["R8"],
+        )
+        assert not findings
+
+
+class TestR9CacheKeyPurity:
+    def test_registered_run_with_wallclock_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            from repro.experiments.registry import register
+
+            @register("E99", "title", "claim")
+            def run(trials=5, seed=0, fast=False):
+                return time.time()
+            """,
+            select=["R9"],
+        )
+        assert rules_hit(findings) == {"R9"}
+        (finding,) = findings
+        assert "wallclock" in finding.message
+
+    def test_spec_run_with_global_write_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.experiments.harness import ExperimentSpec
+
+            HISTORY = []
+
+            def run(trials=5, seed=0, fast=False):
+                HISTORY.append(seed)
+                return len(HISTORY)
+
+            SPEC = ExperimentSpec(
+                experiment_id="E98", title="t", claim="c", run=run
+            )
+            """,
+            select=["R9"],
+        )
+        assert rules_hit(findings) == {"R9"}
+
+    def test_seeded_run_with_io_clean(self, tmp_path):
+        # I/O is allowed by R9 (progress output does not poison the
+        # record values); non-replay effects and global writes are not.
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.experiments.registry import register
+            from repro.sim.rng import derive_rng
+
+            @register("E97", "title", "claim")
+            def run(trials=5, seed=0, fast=False):
+                rng = derive_rng(seed, "E97")
+                print("running")
+                return rng.random()
+            """,
+            select=["R9"],
+        )
+        assert not findings
+
+
+class TestR10EffectDrift:
+    def test_undeclared_inferred_effect_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def helper():
+                '''A helper.
+
+                Effects: none.
+                '''
+                return time.time()
+            """,
+            select=["R10"],
+        )
+        assert rules_hit(findings) == {"R10"}
+        (finding,) = findings
+        assert "wallclock" in finding.message
+
+    def test_declaration_is_upper_bound(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def helper():
+                '''A helper.
+
+                Effects: rng, io.
+                '''
+                return 1
+            """,
+            select=["R10"],
+        )
+        assert not findings
+
+    def test_unknown_declared_effect_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def helper():
+                '''Effects: telepathy.'''
+                return 1
+            """,
+            select=["R10"],
+        )
+        assert rules_hit(findings) == {"R10"}
+        (finding,) = findings
+        assert "telepathy" in finding.message
+
+    def test_missing_entry_point_declaration_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Engine:
+                def run(self, max_slots):
+                    return max_slots
+
+                def step(self):
+                    '''One slot.
+
+                    Effects: rng, perf-counter.
+                    '''
+                    return None
+            """,
+            name="repro/sim/engine.py",
+            select=["R10"],
+        )
+        assert rules_hit(findings) == {"R10"}
+        (finding,) = findings
+        assert "Engine.run" in finding.message
+
+
 class TestRunnerAndCli:
-    def test_registry_has_six_rules(self):
-        assert sorted(all_rules()) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+    def test_registry_has_ten_rules(self):
+        assert list(all_rules()) == [
+            "R1",
+            "R2",
+            "R3",
+            "R4",
+            "R5",
+            "R6",
+            "R7",
+            "R8",
+            "R9",
+            "R10",
+        ]
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
         path = tmp_path / "broken.py"
@@ -501,6 +841,138 @@ class TestRunnerAndCli:
         out = capsys.readouterr().out
         for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
             assert rule_id in out
+
+
+class TestRunnerRobustness:
+    def test_non_python_path_exits_two_with_message(self, tmp_path, capsys):
+        """Regression: `repro-lint README.md` used to crash with an
+        uncaught FileNotFoundError from iter_python_files."""
+        readme = tmp_path / "README.md"
+        readme.write_text("# docs\n", encoding="utf-8")
+        assert lint_main([str(readme)]) == 2
+        err = capsys.readouterr().err
+        assert "not a python file or directory" in err
+        assert "Traceback" not in err
+
+    def test_non_utf8_file_reported_as_finding(self, tmp_path):
+        path = tmp_path / "binary.py"
+        path.write_bytes(b"x = '\xff\xfe'\n")
+        findings = lint_paths([str(path)])
+        assert [f.rule for f in findings] == ["E0"]
+        assert "UTF-8" in findings[0].message
+
+    def test_cache_invalidated_on_edit(self, tmp_path):
+        path = tmp_path / "mut.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        assert not lint_paths([str(path)])
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        os.utime(path, ns=(1, 1))  # force a distinct mtime regardless of clock
+        findings = lint_paths([str(path)])
+        assert "R2" in rules_hit(findings)
+
+    def test_cache_reuses_parse_for_unchanged_file(self, tmp_path):
+        path = tmp_path / "same.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        first = lint_paths([str(path)])
+        second = lint_paths([str(path)])
+        assert first == second
+        from repro.lint.runner import _CACHE
+
+        assert str(path) in _CACHE
+
+    def test_ignore_drops_rule(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+        assert lint_paths([str(path)], ignore=["R2"]) == []
+        with pytest.raises(ValueError):
+            lint_paths([str(path)], ignore=["R99"])
+
+
+class TestBaselineWorkflow:
+    DIRTY = "import time\nstamp = time.time()\n"
+
+    def test_update_then_gate(self, tmp_path, capsys):
+        source = tmp_path / "dirty.py"
+        source.write_text(self.DIRTY, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [str(source), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        # Baselined findings no longer fail the run...
+        assert lint_main([str(source), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+        # ...but a new finding still does.
+        source.write_text(self.DIRTY + "salt = hash('x')\n", encoding="utf-8")
+        assert lint_main([str(source), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "R3" in out and "R2" not in out
+
+    def test_baseline_matches_by_count(self, tmp_path):
+        from repro.lint.baseline import partition
+
+        finding = Finding(path="a.py", line=3, col=0, rule="R2", message="m")
+        twin = Finding(path="a.py", line=9, col=0, rule="R2", message="m")
+        baseline = {" :: ".join(finding.fingerprint()): 1}
+        new, known = partition([finding, twin], baseline)
+        assert len(known) == 1 and len(new) == 1
+
+    def test_baseline_is_line_insensitive(self, tmp_path, capsys):
+        source = tmp_path / "dirty.py"
+        source.write_text(self.DIRTY, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(source), "--baseline", str(baseline), "--update-baseline"])
+        source.write_text("# moved down\n\n" + self.DIRTY, encoding="utf-8")
+        capsys.readouterr()
+        assert lint_main([str(source), "--baseline", str(baseline)]) == 0
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        source = tmp_path / "clean.py"
+        source.write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json", encoding="utf-8")
+        assert lint_main([str(source), "--baseline", str(baseline)]) == 2
+
+    def test_checked_in_baseline_is_empty_and_loadable(self):
+        from repro.lint.baseline import load_baseline
+
+        assert load_baseline(ROOT / "lint-baseline.json") == {}
+
+
+class TestExplainAndEffects:
+    def test_explain_prints_rule_documentation(self, capsys):
+        assert lint_main(["--explain", "R7"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel-purity" in out or "parallel purity" in out
+        assert "pmap_trials" in out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "R99"]) == 2
+
+    def test_effects_dump_for_engine_run(self, capsys):
+        assert (
+            lint_main(
+                ["effects", "repro.sim.engine:Engine.run", "--root", str(SRC)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repro.sim.engine:Engine.run" in out
+        assert "rng" in out
+        assert "perf-counter" in out
+
+    def test_effects_unknown_function_exits_two(self, capsys):
+        assert (
+            lint_main(["effects", "repro.nope:missing", "--root", str(SRC)]) == 2
+        )
+
+    def test_effects_usage_error(self, capsys):
+        assert lint_main(["effects"]) == 2
 
 
 class TestSelfCheck:

@@ -1,0 +1,333 @@
+"""Tests for the whole-program analysis layer (``repro.lint.analysis``).
+
+Fixtures build small multi-module "repro" trees under tmp_path and run
+the full import-graph → call-graph → effect-fixpoint stack over them;
+one section checks the analysis of the real shipped sources.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import textwrap
+
+from repro.lint.analysis import (
+    EFFECT_GLOBAL_WRITE,
+    EFFECT_IO,
+    EFFECT_RNG,
+    EFFECT_WALLCLOCK,
+    build_project,
+    declared_effects,
+)
+from repro.lint.context import ModuleContext
+from repro.lint.runner import iter_python_files, load_module
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+def project_from(tmp_path, files):
+    """Write ``{relative_path: source}`` and build a ProjectContext."""
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    modules = [load_module(path) for path in iter_python_files([tmp_path])]
+    return build_project(
+        module for module in modules if isinstance(module, ModuleContext)
+    )
+
+
+class TestCallGraph:
+    def test_cross_module_resolution_through_reexport(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/util/timers.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+                    """,
+                "repro/util/__init__.py": """
+                    from repro.util.timers import stamp
+                    """,
+                "repro/app.py": """
+                    from repro.util import stamp
+
+                    def tick():
+                        return stamp()
+                    """,
+            },
+        )
+        callees = project.callgraph.callees("repro.app:tick")
+        assert callees == ["repro.util.timers:stamp"]
+
+    def test_self_method_resolution_walks_bases(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/base.py": """
+                    class Base:
+                        def emit(self):
+                            print("hi")
+                    """,
+                "repro/derived.py": """
+                    from repro.base import Base
+
+                    class Derived(Base):
+                        def poke(self):
+                            self.emit()
+                    """,
+            },
+        )
+        assert project.callgraph.callees("repro.derived:Derived.poke") == [
+            "repro.base:Base.emit"
+        ]
+
+    def test_parameter_receiver_never_unique_resolves(self, tmp_path):
+        """An injected (possibly-None) dependency must not contribute a
+        method edge: the effect would not be provable at the call site."""
+        project = project_from(
+            tmp_path,
+            {
+                "repro/sinkmod.py": """
+                    class Sink:
+                        def emit(self, record):
+                            print(record)
+                    """,
+                "repro/user.py": """
+                    def forward(sink, record):
+                        if sink is not None:
+                            sink.emit(record)
+                    """,
+            },
+        )
+        assert project.callgraph.callees("repro.user:forward") == []
+        assert EFFECT_IO not in project.effects.signature("repro.user:forward")
+
+    def test_local_receiver_unique_resolves(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/sinkmod.py": """
+                    class Sink:
+                        def emit(self, record):
+                            print(record)
+                    """,
+                "repro/user.py": """
+                    from repro.sinkmod import Sink
+
+                    def forward(record):
+                        sink = Sink()
+                        sink.emit(record)
+                    """,
+            },
+        )
+        assert "repro.sinkmod:Sink.emit" in project.callgraph.callees(
+            "repro.user:forward"
+        )
+
+
+class TestEffects:
+    def test_transitive_fixpoint_and_witness_chain(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/deep.py": """
+                    import time
+
+                    def c():
+                        return time.time()
+
+                    def b():
+                        return c()
+
+                    def a():
+                        return b()
+                    """,
+            },
+        )
+        signature = project.effects.signature("repro.deep:a")
+        assert EFFECT_WALLCLOCK in signature
+        via, origin = project.effects.witness("repro.deep:a", EFFECT_WALLCLOCK)
+        assert via == ["repro.deep:b", "repro.deep:c"]
+        assert origin is not None and "time.time" in origin.detail
+        rendered = project.effects.render_witness("repro.deep:a", EFFECT_WALLCLOCK)
+        assert "repro.deep:b -> repro.deep:c" in rendered
+
+    def test_seeded_draws_classified_as_rng_not_ambient(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/draws.py": """
+                    def walk(rng, steps):
+                        total = 0
+                        for _ in range(steps):
+                            total += rng.randint(0, 3)
+                        return total
+                    """,
+            },
+        )
+        assert project.effects.signature("repro.draws:walk") == {EFFECT_RNG}
+
+    def test_module_state_mutation_is_global_write(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/stateful.py": """
+                    CACHE = {}
+                    TOTAL = 0
+
+                    def remember(key, value):
+                        CACHE[key] = value
+
+                    def bump():
+                        global TOTAL
+                        TOTAL += 1
+
+                    def local_only(key, value):
+                        cache = {}
+                        cache[key] = value
+                        return cache
+                    """,
+            },
+        )
+        effects = project.effects
+        assert EFFECT_GLOBAL_WRITE in effects.signature("repro.stateful:remember")
+        assert EFFECT_GLOBAL_WRITE in effects.signature("repro.stateful:bump")
+        assert effects.signature("repro.stateful:local_only") == frozenset()
+
+    def test_mutator_method_on_module_state(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/registry.py": """
+                    SEEN = set()
+
+                    def mark(item):
+                        SEEN.add(item)
+                    """,
+            },
+        )
+        assert EFFECT_GLOBAL_WRITE in project.effects.signature(
+            "repro.registry:mark"
+        )
+
+    def test_unresolved_calls_contribute_nothing(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/opaque.py": """
+                    def launder(callback):
+                        return callback()
+                    """,
+            },
+        )
+        assert project.effects.signature("repro.opaque:launder") == frozenset()
+
+    def test_describe_mentions_unresolved_polarity(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/pure.py": """
+                    def add(a, b):
+                        return a + b
+                    """,
+            },
+        )
+        text = project.effects.describe("repro.pure:add")
+        assert "pure up to unresolved calls" in text
+        assert "unknown function" in project.effects.describe("repro.pure:nope")
+
+
+class TestDeclaredEffects:
+    def parse_one(self, source):
+        return ast.parse(textwrap.dedent(source)).body[0]
+
+    def test_parses_comma_list(self):
+        node = self.parse_one(
+            '''
+            def f():
+                """Docstring.
+
+                Effects: rng, perf-counter.
+                """
+            '''
+        )
+        assert declared_effects(node) == {"rng", "perf-counter"}
+
+    def test_none_means_empty(self):
+        node = self.parse_one(
+            '''
+            def f():
+                """Effects: none."""
+            '''
+        )
+        assert declared_effects(node) == frozenset()
+
+    def test_absent_returns_none(self):
+        node = self.parse_one(
+            '''
+            def f():
+                """Just a docstring."""
+            '''
+        )
+        assert declared_effects(node) is None
+
+
+class TestQualnameResolution:
+    def test_colon_and_dotted_spellings(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/mod.py": """
+                    class Thing:
+                        def act(self):
+                            return 1
+                    """,
+            },
+        )
+        assert (
+            project.resolve_callable_qualname("repro.mod:Thing.act")
+            == "repro.mod:Thing.act"
+        )
+        assert (
+            project.resolve_callable_qualname("repro.mod.Thing.act")
+            == "repro.mod:Thing.act"
+        )
+        assert project.resolve_callable_qualname("repro.mod:Missing.act") is None
+
+
+class TestShippedSources:
+    def build(self):
+        modules = [load_module(path) for path in iter_python_files([SRC])]
+        return build_project(
+            module for module in modules if isinstance(module, ModuleContext)
+        )
+
+    def test_engine_run_signature_is_rng_and_perf_counter(self):
+        project = self.build()
+        signature = project.effects.signature("repro.sim.engine:Engine.run")
+        assert EFFECT_RNG in signature
+        assert signature <= {EFFECT_RNG, "perf-counter"}
+
+    def test_experiment_measures_are_parallel_pure(self):
+        from repro.lint.analysis import IMPURE_EFFECTS
+
+        project = self.build()
+        measures = [
+            qualname
+            for qualname in project.callgraph.functions
+            if qualname.startswith("repro.experiments.")
+            and ":measure_" in qualname
+        ]
+        assert measures, "expected measure_* trial functions in experiments"
+        for qualname in measures:
+            impure = project.effects.signature(qualname) & IMPURE_EFFECTS
+            assert not impure, f"{qualname} has impure effects {sorted(impure)}"
+
+    def test_import_graph_covers_package(self):
+        project = self.build()
+        assert "repro.sim.engine" in project.imports.modules
+        assert "repro.experiments.harness" in project.imports.modules

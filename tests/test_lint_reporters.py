@@ -1,0 +1,226 @@
+"""Tests for ``repro.lint.reporters``: text, JSON, and SARIF output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.findings import Finding
+from repro.lint.reporters import (
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+    validate_sarif,
+)
+
+FINDINGS = [
+    Finding(
+        path="src/repro/sim/engine.py",
+        line=12,
+        col=4,
+        rule="R2",
+        message="wallclock read",
+    ),
+    Finding(
+        path="src/repro/perf/executor.py",
+        line=3,
+        col=0,
+        rule="R7",
+        message="impure trial",
+        severity="warning",
+    ),
+]
+
+#: A reduced SARIF 2.1.0 JSON Schema covering the properties this
+#: reporter emits and code-scanning consumers dereference.  (The full
+#: OASIS schema is ~300 KB; jsonschema validation against this subset
+#: plus the structural checks in validate_sarif is the offline-friendly
+#: equivalent.)
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "level"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestText:
+    def test_lists_findings_and_summary(self):
+        out = render_text(FINDINGS)
+        assert "src/repro/sim/engine.py:12:4: R2 wallclock read" in out
+        assert "2 findings (R2, R7)" in out
+
+    def test_empty_is_clean(self):
+        assert "clean" in render_text([])
+
+
+class TestJson:
+    def test_document_shape(self):
+        payload = json.loads(render_json(FINDINGS))
+        assert payload["count"] == 2
+        assert payload["by_rule"] == {"R2": 1, "R7": 1}
+        assert payload["findings"][0]["severity"] == "error"
+
+    def test_empty(self):
+        payload = json.loads(render_json([]))
+        assert payload == {"findings": [], "count": 0, "by_rule": {}}
+
+
+class TestSarif:
+    def test_document_round_trips_and_validates(self):
+        document = json.loads(render_sarif(FINDINGS))
+        assert document["version"] == SARIF_VERSION
+        assert validate_sarif(document) == []
+
+    def test_results_carry_locations_and_levels(self):
+        document = sarif_document(FINDINGS)
+        results = document["runs"][0]["results"]
+        assert len(results) == 2
+        first = results[0]
+        assert first["ruleId"] == "R2"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/sim/engine.py"
+        assert location["region"] == {"startLine": 12, "startColumn": 5}
+        assert results[1]["level"] == "warning"
+
+    def test_rule_catalog_covers_registry_and_results(self):
+        document = sarif_document(FINDINGS)
+        driver = document["runs"][0]["tool"]["driver"]
+        ids = [rule["id"] for rule in driver["rules"]]
+        for rule_id in ("R1", "R7", "R10"):
+            assert rule_id in ids
+        for result in document["runs"][0]["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_e0_findings_get_a_catalog_entry(self):
+        broken = Finding(path="x.py", line=1, col=0, rule="E0", message="boom")
+        document = sarif_document([broken])
+        ids = [rule["id"] for rule in document["runs"][0]["tool"]["driver"]["rules"]]
+        assert "E0" in ids
+        assert validate_sarif(document) == []
+
+    def test_empty_document_validates(self):
+        document = sarif_document([])
+        assert document["runs"][0]["results"] == []
+        assert validate_sarif(document) == []
+
+    def test_validate_rejects_broken_documents(self):
+        assert validate_sarif({"version": "1.0.0", "runs": []})
+        document = sarif_document(FINDINGS)
+        document["runs"][0]["results"][0]["message"] = {}
+        assert any("message.text" in p for p in validate_sarif(document))
+        document = sarif_document(FINDINGS)
+        document["runs"][0]["results"][0]["level"] = "fatal"
+        assert any("level" in p for p in validate_sarif(document))
+
+    def test_against_json_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(sarif_document(FINDINGS), SARIF_SUBSET_SCHEMA)
+        jsonschema.validate(sarif_document([]), SARIF_SUBSET_SCHEMA)
+
+
+class TestSeverity:
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding(path="a.py", line=1, col=0, rule="R1", message="m", severity="bad")
+
+    def test_fingerprint_is_line_insensitive(self):
+        low = Finding(path="a.py", line=1, col=0, rule="R1", message="m")
+        high = Finding(path="a.py", line=99, col=7, rule="R1", message="m")
+        assert low.fingerprint() == high.fingerprint()
