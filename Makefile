@@ -7,7 +7,7 @@
 PYTHON ?= python
 JOBS ?= 1
 
-.PHONY: install test lint lint-all lint-baseline bench bench-save experiments report examples obs-demo trace-demo all
+.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check experiments report examples obs-demo trace-demo metrics-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ bench-save:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_$$(date +%Y%m%d).json
 
+# Gate the newest BENCH_*.json datapoint against the rest of the
+# trajectory (warn-only until the history has 3 comparable datapoints).
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro bench check --history 'BENCH_*.json' \
+		--report bench_report.json
+
 experiments:
 	PYTHONPATH=src $(PYTHON) -m repro run all --jobs $(JOBS)
 
@@ -53,6 +59,15 @@ obs-demo:
 	PYTHONPATH=src $(PYTHON) -m repro obs validate telemetry.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro obs summary telemetry.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro obs anomalies telemetry.jsonl
+
+# Instrumented run with the metrics registry: emit telemetry with
+# embedded metric snapshots, then render them (Prometheus text format)
+# and diff the file against itself (zero significant deltas expected).
+metrics-demo:
+	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 \
+		--telemetry metrics_demo.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs summary metrics_demo.jsonl --metrics
+	PYTHONPATH=src $(PYTHON) -m repro obs diff metrics_demo.jsonl metrics_demo.jsonl
 
 # Export Chrome-trace/Perfetto timelines for both protocols (load the
 # JSON at ui.perfetto.dev or chrome://tracing).

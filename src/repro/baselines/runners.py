@@ -15,6 +15,7 @@ runs leave the same ``kind="run"`` manifests as the core protocols.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.baselines.aggregation import (
@@ -26,6 +27,8 @@ from repro.baselines.deterministic import StayAndScanBroadcast
 from repro.baselines.hopping import HoppingTogether
 from repro.baselines.rendezvous import RendezvousBroadcast
 from repro.core.cogcast import BroadcastResult
+from repro.obs.metrics import MetricsProbe
+from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
 from repro.sim.channels import ChannelAssignment, Network
 from repro.sim.collision import CollisionModel
@@ -34,9 +37,24 @@ from repro.sim.protocol import NodeView, Protocol
 from repro.types import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import MetricsRegistry, ResourceSampler
     from repro.obs.probe import SlotProbe
     from repro.obs.profiler import Profiler
     from repro.obs.telemetry import TelemetrySink
+
+
+def _engine_probe(
+    probe: "SlotProbe | None",
+    metrics: "MetricsRegistry | None",
+    protocol: str,
+) -> "SlotProbe | None":
+    """Compose the user probe with a metrics probe when a registry is given."""
+    if metrics is None:
+        return probe
+    metrics_probe = MetricsProbe(metrics, protocol=protocol)
+    if probe is None:
+        return metrics_probe
+    return MultiProbe([probe, metrics_probe])
 
 
 def _emit_run(
@@ -49,6 +67,10 @@ def _emit_run(
     completed: bool,
     probe: "SlotProbe | None",
     profiler: "Profiler | None",
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
+    elapsed_s: float | None = None,
+    fast_path: bool | None = None,
 ) -> None:
     """Emit one run manifest when a telemetry sink is attached."""
     if telemetry is not None:
@@ -61,6 +83,10 @@ def _emit_run(
                 outcome="completed" if completed else "budget",
                 probe=probe,
                 profiler=profiler,
+                metrics=metrics,
+                resources=None if resources is None else resources.delta(),
+                elapsed_s=elapsed_s,
+                fast_path=fast_path,
             )
         )
 
@@ -86,6 +112,8 @@ def run_rendezvous_broadcast(
     collision: CollisionModel | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the baseline until every node has heard the source."""
@@ -96,14 +124,21 @@ def run_rendezvous_broadcast(
         )
 
     engine = build_engine(
-        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        probe=_engine_probe(probe, metrics, "rendezvous-broadcast"),
+        profiler=profiler,
     )
     protocols: list[RendezvousBroadcast] = engine.protocols  # type: ignore[assignment]
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=all_informed)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="rendezvous-broadcast",
@@ -113,6 +148,10 @@ def run_rendezvous_broadcast(
         completed=result.completed,
         probe=probe,
         profiler=profiler,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     return _broadcast_result(result, protocols)
 
@@ -127,6 +166,8 @@ def run_stay_and_scan_broadcast(
     collision: CollisionModel | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the deterministic broadcast to completion (<= c^2 slots)."""
@@ -139,14 +180,21 @@ def run_stay_and_scan_broadcast(
         )
 
     engine = build_engine(
-        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        probe=_engine_probe(probe, metrics, "stay-and-scan"),
+        profiler=profiler,
     )
     protocols: list[StayAndScanBroadcast] = engine.protocols  # type: ignore[assignment]
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
+    run_start = perf_counter()
     result = engine.run(budget, stop_when=all_informed)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="stay-and-scan",
@@ -156,6 +204,10 @@ def run_stay_and_scan_broadcast(
         completed=result.completed,
         probe=probe,
         profiler=profiler,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     return _broadcast_result(result, protocols)
 
@@ -170,6 +222,8 @@ def run_rendezvous_aggregation(
     collision: CollisionModel | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> BaselineAggregationResult:
     """Run the baseline until the source holds every node's value."""
@@ -183,14 +237,21 @@ def run_rendezvous_aggregation(
         return RendezvousReporter(view, values[view.node_id])
 
     engine = build_engine(
-        network, factory, seed=seed, collision=collision, probe=probe, profiler=profiler
+        network,
+        factory,
+        seed=seed,
+        collision=collision,
+        probe=_engine_probe(probe, metrics, "rendezvous-aggregation"),
+        profiler=profiler,
     )
     collector: RendezvousCollector = engine.protocols[source]  # type: ignore[assignment]
 
     def all_collected(_: Engine) -> bool:
         return len(collector.collected) >= n - 1
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=all_collected)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="rendezvous-aggregation",
@@ -200,6 +261,10 @@ def run_rendezvous_aggregation(
         completed=result.completed,
         probe=probe,
         profiler=profiler,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     return BaselineAggregationResult(
         slots=result.slots,
@@ -218,6 +283,8 @@ def run_hopping_together(
     collision: CollisionModel | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run the lockstep scan until every node is informed.
@@ -241,13 +308,20 @@ def run_hopping_together(
         for view in views
     ]
     engine = Engine(
-        network, protocols, seed=seed, collision=collision, probe=probe, profiler=profiler
+        network,
+        protocols,
+        seed=seed,
+        collision=collision,
+        probe=_engine_probe(probe, metrics, "hopping-together"),
+        profiler=profiler,
     )
 
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=all_informed)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="hopping-together",
@@ -257,5 +331,9 @@ def run_hopping_together(
         completed=result.completed,
         probe=probe,
         profiler=profiler,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     return _broadcast_result(result, protocols)

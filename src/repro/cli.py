@@ -7,7 +7,9 @@ Usage::
     repro-experiments run all [--trials N] [--seed S] [--fast] [--jobs N] [--telemetry F]
     repro-experiments lint [paths ...] [--format json] [--select R4,R6]
     repro-experiments obs validate|summary|tail|anomalies telemetry.jsonl [...]
+    repro-experiments obs diff A.jsonl B.jsonl
     repro-experiments obs export-trace --protocol cogcomp -o trace.json
+    repro-experiments bench check [CANDIDATE.json] --history 'BENCH_*.json'
 
 (Equivalently ``python -m repro ...``.  ``lint`` is also installed as
 the standalone ``repro-lint`` console script (see :mod:`repro.lint`)
@@ -89,6 +91,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_obs_subcommands(obs_parser.add_subparsers(dest="obs_command", required=True))
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark-trajectory tools (regression gating)"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    check = bench_sub.add_parser(
+        "check",
+        help="fit per-benchmark baselines from BENCH history; "
+        "exit 1 on CI-backed regression",
+    )
+    check.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="candidate datapoint (default: newest history datapoint)",
+    )
+    check.add_argument(
+        "--history",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="history datapoint files/globs (default: BENCH_*.json); repeatable",
+    )
+    check.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown beyond the baseline CI (default: 0.25 = 25%%)",
+    )
+    check.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="comparable datapoints needed to gate; fewer = warn-only",
+    )
+    check.add_argument(
+        "--report", default=None, metavar="FILE", help="write the JSON report to FILE"
+    )
+    check.add_argument(
+        "--json", action="store_true", help="print the JSON report instead of text"
+    )
+
     lint_parser = subparsers.add_parser(
         "lint", help="check sources against the model-soundness rules"
     )
@@ -119,9 +162,20 @@ def _run_one(
     start = time.perf_counter()
     if telemetry is not None:
         from repro.experiments.harness import run_with_telemetry
+        from repro.obs.metrics import MetricsRegistry, ResourceSampler
 
+        registry = MetricsRegistry()
+        registry.counter(
+            "experiments_run", "experiments executed", labels=("experiment",)
+        ).inc(experiment=experiment_id)
         table = run_with_telemetry(
-            spec, telemetry, trials=trials, seed=seed, fast=fast
+            spec,
+            telemetry,
+            trials=trials,
+            seed=seed,
+            fast=fast,
+            metrics=registry,
+            resources=ResourceSampler().start(),
         )
     else:
         kwargs: dict[str, object] = {"seed": seed, "fast": fast}
@@ -210,6 +264,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs import cli as obs_cli
 
         return obs_cli.dispatch(args)
+    if args.command == "bench":
+        from repro.obs.regress import bench_check
+
+        return bench_check(
+            args.candidate,
+            args.history if args.history else ["BENCH_*.json"],
+            threshold=args.threshold,
+            min_history=args.min_history,
+            report_path=args.report,
+            as_json=args.json,
+        )
     return 2
 
 

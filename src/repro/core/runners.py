@@ -22,12 +22,14 @@ anomalies flow into the same sink as ``kind="anomaly"`` records.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.aggregation import Aggregator, CollectAggregator
 from repro.core.cogcast import BroadcastResult, CogCast
 from repro.core.cogcomp import AggregationResult, CogComp
 from repro.core.gossip import GossipCast, GossipResult
+from repro.obs.metrics import MetricsProbe
 from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
 from repro.obs.watchdog import flush_anomalies
@@ -40,6 +42,7 @@ from repro.sim.trace import EventTrace
 from repro.types import NodeId, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.metrics import MetricsRegistry, ResourceSampler
     from repro.obs.probe import SlotProbe
     from repro.obs.profiler import Profiler
     from repro.obs.spans import SpanProbe
@@ -51,11 +54,12 @@ def _compose_probe(
     probe: "SlotProbe | None",
     spans: "SpanProbe | None",
     watchdogs: "Sequence[WatchdogProbe]",
+    *extra: "SlotProbe | None",
 ) -> "SlotProbe | None":
     """Fold the separate instrument kwargs into one engine probe."""
     instruments = [
         instrument
-        for instrument in (probe, spans, *watchdogs)
+        for instrument in (probe, spans, *watchdogs, *extra)
         if instrument is not None
     ]
     if not instruments:
@@ -63,6 +67,13 @@ def _compose_probe(
     if len(instruments) == 1:
         return instruments[0]
     return MultiProbe(instruments)
+
+
+def _metrics_probe(
+    metrics: "MetricsRegistry | None", protocol: str
+) -> MetricsProbe | None:
+    """A registry-feeding engine probe, when a registry was supplied."""
+    return None if metrics is None else MetricsProbe(metrics, protocol=protocol)
 
 
 def _emit_run(
@@ -77,6 +88,10 @@ def _emit_run(
     profiler: "Profiler | None",
     spans: "SpanProbe | None" = None,
     watchdogs: "Sequence[WatchdogProbe]" = (),
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
+    elapsed_s: float | None = None,
+    fast_path: bool | None = None,
 ) -> None:
     """Emit one run manifest (plus any anomalies) when a sink is attached."""
     if telemetry is not None:
@@ -90,6 +105,10 @@ def _emit_run(
                 probe=probe,
                 profiler=profiler,
                 spans=spans,
+                metrics=metrics,
+                resources=None if resources is None else resources.delta(),
+                elapsed_s=elapsed_s,
+                fast_path=fast_path,
             )
         )
         if watchdogs:
@@ -111,6 +130,8 @@ def run_local_broadcast(
     profiler: "Profiler | None" = None,
     spans: "SpanProbe | None" = None,
     watchdogs: "Sequence[WatchdogProbe]" = (),
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> BroadcastResult:
     """Run COGCAST until every node is informed (or *max_slots*).
@@ -121,6 +142,14 @@ def run_local_broadcast(
     Theorem 4 bound.  *spans* reconstructs the distribution tree
     (:class:`repro.obs.spans.SpanProbe`); *watchdogs* check invariants
     live, their anomalies flowing to *telemetry* when given.
+    *metrics* (a :class:`repro.obs.metrics.MetricsRegistry`) attaches a
+    :class:`~repro.obs.metrics.MetricsProbe` and embeds its snapshot in
+    the run record; *resources* (a started
+    :class:`~repro.obs.metrics.ResourceSampler`) embeds its delta.
+    Run records always carry ``elapsed_s`` (harness ``perf_counter``
+    around :meth:`Engine.run`, so it never disengages the fast path)
+    and ``fast_path`` (whether the fast kernel ran) when telemetry is
+    attached.
     """
 
     def factory(view: NodeView) -> CogCast:
@@ -133,7 +162,7 @@ def run_local_broadcast(
         collision=collision,
         trace=trace,
         jammer=jammer,
-        probe=_compose_probe(probe, spans, watchdogs),
+        probe=_compose_probe(probe, spans, watchdogs, _metrics_probe(metrics, "cogcast")),
         profiler=profiler,
     )
     protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
@@ -141,7 +170,9 @@ def run_local_broadcast(
     def all_informed(_: Engine) -> bool:
         return all(protocol.informed for protocol in protocols)
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=all_informed)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="cogcast",
@@ -153,6 +184,10 @@ def run_local_broadcast(
         profiler=profiler,
         spans=spans,
         watchdogs=watchdogs,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     if require_completion and not result.completed:
         raise SimulationError(
@@ -184,6 +219,8 @@ def run_data_aggregation(
     profiler: "Profiler | None" = None,
     spans: "SpanProbe | None" = None,
     watchdogs: "Sequence[WatchdogProbe]" = (),
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> AggregationResult:
     """Run COGCOMP end to end and return the source's aggregate.
@@ -205,6 +242,12 @@ def run_data_aggregation(
         ``phase4_start`` by construction.
     watchdogs:
         Optional invariant watchdogs; anomalies flow to *telemetry*.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; attaches a
+        metrics probe and embeds the snapshot in the run record.
+    resources:
+        Optional started :class:`repro.obs.metrics.ResourceSampler`;
+        its delta rides on the run record as ``resources``.
     """
     from repro.analysis.theory import cogcast_slot_bound
 
@@ -237,13 +280,15 @@ def run_data_aggregation(
         seed=seed,
         collision=collision,
         trace=trace,
-        probe=_compose_probe(probe, spans, watchdogs),
+        probe=_compose_probe(probe, spans, watchdogs, _metrics_probe(metrics, "cogcomp")),
         profiler=profiler,
     )
     protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
     source_protocol = protocols[source]
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=lambda _: source_protocol.done)
+    elapsed_s = perf_counter() - run_start
     failures = tuple(
         node for node, protocol in enumerate(protocols) if protocol.failed
     )
@@ -264,6 +309,10 @@ def run_data_aggregation(
         profiler=profiler,
         spans=spans,
         watchdogs=watchdogs,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     if require_completion and (not result.completed or failures):
         raise SimulationError(
@@ -296,11 +345,15 @@ def run_gossip(
     collision: CollisionModel | None = None,
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
 ) -> GossipResult:
     """Run gossip until every node knows every source's message.
 
     ``sources`` maps originating node id to its message body.
+    *metrics* / *resources* embed registry snapshots and sampler deltas
+    in the run record, as in :func:`run_local_broadcast`.
     """
     if not sources:
         raise ValueError("need at least one source")
@@ -318,7 +371,7 @@ def run_gossip(
         factory,
         seed=seed,
         collision=collision,
-        probe=probe,
+        probe=_compose_probe(probe, None, (), _metrics_probe(metrics, "gossip")),
         profiler=profiler,
     )
     protocols: list[GossipCast] = engine.protocols  # type: ignore[assignment]
@@ -327,7 +380,9 @@ def run_gossip(
     def all_covered(_: Engine) -> bool:
         return all(want <= set(protocol.known) for protocol in protocols)
 
+    run_start = perf_counter()
     result = engine.run(max_slots, stop_when=all_covered)
+    elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
         protocol="gossip",
@@ -337,6 +392,10 @@ def run_gossip(
         outcome="completed" if result.completed else "budget",
         probe=probe,
         profiler=profiler,
+        metrics=metrics,
+        resources=resources,
+        elapsed_s=elapsed_s,
+        fast_path=engine.fast_path_engaged,
     )
     return GossipResult(
         slots=result.slots,

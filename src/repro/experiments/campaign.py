@@ -87,6 +87,7 @@ class Campaign:
         telemetry: Any = None,
         jobs: int | None = 1,
         watchdogs: Sequence[Any] = (),
+        metrics: Any = None,
     ) -> list[PointResult]:
         """Measure every grid point with *trials* independent seeds.
 
@@ -115,6 +116,18 @@ class Campaign:
         stays in-process.  A point's ``elapsed_s`` is the sum of its
         trials' individual measure times (timed inside the worker), so
         serial and parallel runs report comparable per-point costs.
+
+        *metrics* is an optional
+        :class:`repro.obs.metrics.MetricsRegistry` maintained in the
+        parent process (workers return plain samples, so parallel runs
+        feed the same instruments in the same order as serial runs):
+        per-campaign trial/point counters, the trial-value distribution
+        (protocol category — deterministic in ``(grid, seed)``), and a
+        timing-category per-point elapsed histogram.  Each
+        ``kind="campaign"`` record embeds the registry snapshot as of
+        that point, so shards merged by
+        :func:`repro.perf.merge_telemetry` stay individually
+        attributable.
         """
         if trials < 1:
             raise ValueError("trials must be positive")
@@ -130,6 +143,25 @@ class Campaign:
             for trial in range(trials)
         ]
         flat = pmap_trials(partial(_timed_measure, self.measure), tasks, jobs=jobs)
+        if metrics is not None:
+            point_counter = metrics.counter(
+                "campaign_points", "grid points measured", labels=("campaign",)
+            )
+            trial_counter = metrics.counter(
+                "campaign_trials", "trials measured", labels=("campaign",)
+            )
+            value_histogram = metrics.histogram(
+                "campaign_trial_value",
+                "trial measurement values",
+                labels=("campaign",),
+            )
+            elapsed_histogram = metrics.histogram(
+                "campaign_point_elapsed_s",
+                "per-point wall time",
+                labels=("campaign",),
+                category="timing",
+                width=0.25,
+            )
         results: list[PointResult] = []
         for index, point in enumerate(grid):
             point_trials = flat[index * trials : (index + 1) * trials]
@@ -137,6 +169,12 @@ class Campaign:
             elapsed = sum(trial_elapsed for _, trial_elapsed in point_trials)
             _, low, high = mean_confidence_interval(list(samples))
             summary = summarize(samples)
+            if metrics is not None:
+                point_counter.inc(campaign=self.name)
+                trial_counter.inc(trials, campaign=self.name)
+                for sample in samples:
+                    value_histogram.observe(sample, campaign=self.name)
+                elapsed_histogram.observe(elapsed, campaign=self.name)
             if telemetry is not None:
                 telemetry.emit(
                     campaign_record(
@@ -146,6 +184,7 @@ class Campaign:
                         trials=trials,
                         mean=summary.mean,
                         elapsed_s=elapsed,
+                        metrics=metrics,
                     )
                 )
             results.append(

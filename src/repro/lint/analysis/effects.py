@@ -171,6 +171,14 @@ _MUTATOR_METHODS = frozenset(
         "discard",
         "sort",
         "reverse",
+        # Metrics-instrument mutators (repro.obs.metrics): a worker
+        # bumping a module-level Counter/Gauge/Histogram/registry is the
+        # same shared-state race as CACHE.setdefault — per-worker
+        # registries merged via snapshots are the sanctioned pattern.
+        "inc",
+        "set",
+        "observe",
+        "merge",
     }
 )
 

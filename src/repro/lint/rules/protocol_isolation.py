@@ -27,7 +27,10 @@ from repro.lint.registry import Rule, register
 #: Modules a protocol-defining module may never import.  ``repro.perf``
 #: is harness-side machinery like ``repro.obs``: a node that could fan
 #: out process pools or consult executor state would be reaching outside
-#: its NodeView.
+#: its NodeView.  The check is prefix-based, so every ``repro.obs``
+#: submodule is covered — including ``repro.obs.metrics``: a protocol
+#: that incremented a counter or read a gauge would be publishing to /
+#: consulting global state no radio node has.
 FORBIDDEN_MODULES = (
     "repro.sim.engine",
     "repro.sim.channels",

@@ -37,6 +37,19 @@ constant-memory alternative:
   outcome, counters, timings, span summaries) emitted by the runner
   harnesses, plus a ``python -m repro obs`` CLI that validates, tails,
   and summarizes telemetry files and surfaces anomalies.
+- **Metrics** (:class:`MetricsRegistry` with :class:`Counter`,
+  :class:`Gauge`, :class:`Histogram`) — a process-safe, constant-memory
+  instrument registry with label sets, snapshot/restore/merge (so
+  :func:`repro.perf.pmap_trials` workers consolidate
+  deterministically), a Prometheus text exporter
+  (:func:`render_prometheus`), an engine-hook feeder
+  (:class:`MetricsProbe`), and a :class:`ResourceSampler` (RSS, CPU
+  time, GC) whose deltas ride on run records.
+- **Regression plane** (:mod:`repro.obs.regress`) — ``repro obs diff``
+  compares two telemetry files per metric (protocol-class series must
+  match; timing-class series are reported with bootstrap CIs), and
+  ``repro bench check`` gates the BENCH_*.json trajectory with
+  machine-fingerprinted, CI-backed per-benchmark baselines.
 
 Everything here is analysis-side: protocols never see probes, sinks,
 or profilers (lint rule R4 forbids protocol modules from importing
@@ -44,6 +57,19 @@ this package).
 """
 
 from repro.obs.aggregators import FixedHistogram, StreamingStat
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsProbe,
+    MetricsRegistry,
+    ResourceSampler,
+    merge_snapshots,
+    render_prometheus,
+    validate_snapshot,
+)
 from repro.obs.export import (
     chrome_trace,
     span_summary,
@@ -80,15 +106,23 @@ __all__ = [
     "ActivityProbe",
     "Anomaly",
     "ClusterSizeAgreementWatchdog",
+    "Counter",
     "CountersProbe",
     "FixedHistogram",
+    "Gauge",
+    "Histogram",
     "HistogramProbe",
     "InformEdge",
     "InformedSetWatchdog",
+    "METRICS_SCHEMA_VERSION",
     "MediatorUniquenessWatchdog",
+    "MetricsError",
+    "MetricsProbe",
+    "MetricsRegistry",
     "MultiProbe",
     "Profiler",
     "ProtocolProbe",
+    "ResourceSampler",
     "SectionStat",
     "SlotBudgetWatchdog",
     "SlotProbe",
@@ -106,12 +140,15 @@ __all__ = [
     "chrome_trace",
     "experiment_record",
     "flush_anomalies",
+    "merge_snapshots",
     "payload_kind",
     "read_telemetry",
+    "render_prometheus",
     "run_record",
     "span_summary",
     "summarize_records",
     "validate_chrome_trace",
     "validate_record",
+    "validate_snapshot",
     "write_chrome_trace",
 ]

@@ -3,11 +3,20 @@
 Usage (also installed as the standalone ``repro-obs`` console script)::
 
     repro-obs validate telemetry.jsonl [...]   # schema-check every line
-    repro-obs summary telemetry.jsonl [...]    # grouped digest
+    repro-obs summary 'shard*.jsonl' [...]     # grouped digest (globs ok)
+    repro-obs summary telemetry.jsonl --metrics  # + embedded metric snapshots
     repro-obs tail telemetry.jsonl -n 5        # last records, pretty-printed
     repro-obs anomalies telemetry.jsonl [...]  # watchdog anomalies; exit 1 if any
+    repro-obs diff A.jsonl B.jsonl             # per-metric delta report
     repro-obs export-trace --protocol cogcomp --n 12 --c 6 --k 2 \\
         --seed 0 -o trace.json [--spans spans.json]
+
+File arguments are shell-glob expanded here too (quote them to defer
+to this expansion), so campaign shards like ``telemetry.worker*.jsonl``
+summarize as one stream.  ``diff`` classes every series as protocol
+(deterministic; any real difference is *significant* and fails the
+diff) or timing (reported, never significant) — see
+:mod:`repro.obs.regress`.
 
 ``export-trace`` runs one seeded protocol with a
 :class:`~repro.obs.spans.SpanProbe` attached and writes the resulting
@@ -47,11 +56,38 @@ def add_subcommands(sub: Any) -> None:
         ("anomalies", "list watchdog anomaly records; exit 1 when any exist"),
     ):
         command = sub.add_parser(name, help=help_text)
-        command.add_argument("files", nargs="+", help="telemetry JSONL files")
+        command.add_argument(
+            "files", nargs="+", help="telemetry JSONL files (globs expanded)"
+        )
         if name == "tail":
             command.add_argument(
                 "-n", "--limit", type=int, default=10, help="records to show"
             )
+        if name in ("summary", "tail"):
+            command.add_argument(
+                "--metrics",
+                action="store_true",
+                help="also render embedded metric snapshots",
+            )
+    diff = sub.add_parser(
+        "diff",
+        help="per-metric delta report between two telemetry files; "
+        "exit 1 on significant protocol deltas",
+    )
+    diff.add_argument("file_a", help="baseline telemetry JSONL file")
+    diff.add_argument("file_b", help="treatment telemetry JSONL file")
+    diff.add_argument(
+        "--resamples", type=int, default=1000, help="bootstrap resamples"
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="print the structured JSON report"
+    )
+    diff.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
     export = sub.add_parser(
         "export-trace",
         help="run a seeded protocol and write a Chrome-trace/Perfetto timeline",
@@ -87,10 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _expand(files: Sequence[str]) -> list[str]:
+    """Shell-glob expansion for file arguments, sorted per pattern.
+
+    Patterns with no match pass through unchanged so the subsequent
+    open error names what the user actually typed.
+    """
+    import glob as globmod
+
+    expanded: list[str] = []
+    for pattern in files:
+        matches = sorted(globmod.glob(pattern))
+        expanded.extend(matches if matches else [pattern])
+    return expanded
+
+
 def _read_all(files: Sequence[str]) -> list[dict[str, Any]] | None:
-    """Every record across *files*, or ``None`` after printing an error."""
+    """Every record across *files* (globs expanded), or ``None`` on error."""
     records: list[dict[str, Any]] = []
-    for path in files:
+    for path in _expand(files):
         try:
             records.extend(read_telemetry(path, strict=False))
         except OSError as error:
@@ -99,11 +150,33 @@ def _read_all(files: Sequence[str]) -> list[dict[str, Any]] | None:
     return records
 
 
+def _metrics_digest(records: Sequence[dict[str, Any]]) -> str:
+    """Render the merged embedded metric snapshots of *records*.
+
+    Merges every record's ``metrics`` field with
+    :func:`repro.obs.metrics.merge_snapshots` and renders the result in
+    Prometheus text format — the same bytes a ``/metrics`` endpoint
+    would serve for this telemetry.
+    """
+    from repro.obs.metrics import merge_snapshots, render_prometheus
+
+    snapshots = [
+        record["metrics"] for record in records if record.get("metrics") is not None
+    ]
+    if not snapshots:
+        return "no metric snapshots embedded"
+    merged = merge_snapshots(snapshots)
+    return (
+        f"metrics ({len(snapshots)} snapshots merged):\n"
+        + render_prometheus(merged)
+    )
+
+
 def validate_files(files: Sequence[str]) -> int:
     """Validate every record in every file; print problems; 0 iff clean."""
     total = 0
     problems_found = 0
-    for path in files:
+    for path in _expand(files):
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 lines = handle.readlines()
@@ -132,8 +205,12 @@ def validate_files(files: Sequence[str]) -> int:
     return 0
 
 
-def summarize_files(files: Sequence[str]) -> int:
-    """Print a digest of all records across *files*; 0 iff any exist."""
+def summarize_files(files: Sequence[str], *, metrics: bool = False) -> int:
+    """Print a digest of all records across *files*; 0 iff any exist.
+
+    With ``metrics=True`` the digest is followed by the merged embedded
+    metric snapshots in Prometheus text format.
+    """
     records = _read_all(files)
     if records is None:
         return 1
@@ -141,11 +218,17 @@ def summarize_files(files: Sequence[str]) -> int:
         print("no telemetry records in " + ", ".join(files))
         return 1
     print(summarize_records(records))
+    if metrics:
+        print(_metrics_digest(records))
     return 0
 
 
-def tail_files(files: Sequence[str], limit: int) -> int:
-    """Pretty-print the newest *limit* records across *files*."""
+def tail_files(files: Sequence[str], limit: int, *, metrics: bool = False) -> int:
+    """Pretty-print the newest *limit* records across *files*.
+
+    With ``metrics=True`` each tailed record that embeds a metrics
+    snapshot is followed by that snapshot rendered as Prometheus text.
+    """
     records = _read_all(files)
     if records is None:
         return 1
@@ -154,7 +237,38 @@ def tail_files(files: Sequence[str], limit: int) -> int:
         return 1
     for record in tail_records(records, limit):
         print(json.dumps(record, sort_keys=True))
+        if metrics and record.get("metrics") is not None:
+            from repro.obs.metrics import render_prometheus
+
+            print(render_prometheus(record["metrics"]))
     return 0
+
+
+def diff_files_cli(
+    file_a: str,
+    file_b: str,
+    *,
+    resamples: int = 1000,
+    as_json: bool = False,
+    report_path: str | None = None,
+) -> int:
+    """Diff two telemetry files; exit 1 on significant protocol deltas."""
+    from repro.obs.regress import diff_files
+
+    try:
+        report = diff_files(file_a, file_b, resamples=resamples)
+    except OSError as error:
+        print(f"{error.filename or file_a}: {error.strerror or error}", file=sys.stderr)
+        return 1
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    if as_json:
+        print(json.dumps(report.as_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.render())
+    return report.exit_code
 
 
 def anomalies_files(files: Sequence[str]) -> int:
@@ -238,11 +352,19 @@ def dispatch(args: argparse.Namespace) -> int:
     if command == "validate":
         return validate_files(args.files)
     if command == "summary":
-        return summarize_files(args.files)
+        return summarize_files(args.files, metrics=args.metrics)
     if command == "tail":
-        return tail_files(args.files, args.limit)
+        return tail_files(args.files, args.limit, metrics=args.metrics)
     if command == "anomalies":
         return anomalies_files(args.files)
+    if command == "diff":
+        return diff_files_cli(
+            args.file_a,
+            args.file_b,
+            resamples=args.resamples,
+            as_json=args.json,
+            report_path=args.report,
+        )
     if command == "export-trace":
         return export_trace(
             protocol=args.protocol,

@@ -129,6 +129,34 @@ def validate_record(record: Any) -> list[str]:
     detail = record.get("detail")
     if detail is not None and not isinstance(detail, dict):
         problems.append("detail must be an object")
+    metrics = record.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            problems.append("metrics must be an object (a registry snapshot)")
+        else:
+            from repro.obs.metrics import validate_snapshot
+
+            problems.extend(
+                f"metrics: {problem}" for problem in validate_snapshot(metrics)
+            )
+    resources = record.get("resources")
+    if resources is not None:
+        if not isinstance(resources, dict) or not all(
+            isinstance(key, str)
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            for key, value in resources.items()
+        ):
+            problems.append("resources must map names to numbers")
+    if kind == "run":
+        elapsed = record.get("elapsed_s")
+        if elapsed is not None and (
+            isinstance(elapsed, bool) or not isinstance(elapsed, (int, float))
+        ):
+            problems.append(f"elapsed_s is {elapsed!r}, expected number")
+        fast_path = record.get("fast_path")
+        if fast_path is not None and not isinstance(fast_path, bool):
+            problems.append(f"fast_path is {fast_path!r}, expected bool")
     return problems
 
 
@@ -146,6 +174,10 @@ def run_record(
     probe: Any = None,
     profiler: Any = None,
     spans: Any = None,
+    metrics: Any = None,
+    resources: Mapping[str, float] | None = None,
+    elapsed_s: float | None = None,
+    fast_path: bool | None = None,
     extra: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a ``kind="run"`` manifest for one engine run.
@@ -154,7 +186,13 @@ def run_record(
     ``C``.  When *probe* or *profiler* expose ``as_dict()``, their
     snapshots ride along as ``counters`` / ``timings``; when *spans*
     exposes ``summary()`` (a :class:`repro.obs.spans.SpanProbe`) or is
-    already a mapping, it rides along as ``spans``.  *extra* keys are
+    already a mapping, it rides along as ``spans``.  *metrics* is a
+    :class:`repro.obs.metrics.MetricsRegistry` (or its snapshot dict),
+    embedded as the validated ``metrics`` field; *resources* is a
+    :meth:`repro.obs.metrics.ResourceSampler.delta` mapping; timing
+    context rides along as ``elapsed_s`` (harness-measured
+    ``perf_counter`` duration of the engine run) and ``fast_path``
+    (whether the fast-path kernel was eligible).  *extra* keys are
     merged last (they must not shadow schema fields).
     """
     record: dict[str, Any] = {
@@ -177,6 +215,16 @@ def run_record(
         record["spans"] = (
             spans.summary() if hasattr(spans, "summary") else dict(spans)
         )
+    if metrics is not None:
+        record["metrics"] = (
+            metrics.snapshot() if hasattr(metrics, "snapshot") else dict(metrics)
+        )
+    if resources is not None:
+        record["resources"] = dict(resources)
+    if elapsed_s is not None:
+        record["elapsed_s"] = round(float(elapsed_s), 6)
+    if fast_path is not None:
+        record["fast_path"] = bool(fast_path)
     if extra:
         for key, value in extra.items():
             if key in record:
@@ -195,12 +243,16 @@ def experiment_record(
     rows: int,
     profiler: Any = None,
     spans: Any = None,
+    metrics: Any = None,
+    resources: Mapping[str, float] | None = None,
 ) -> dict[str, Any]:
     """Build a ``kind="experiment"`` manifest for one table generation.
 
     When *profiler* exposes ``as_dict()`` its section stats ride along
     as ``timings``; when *spans* exposes ``summary()`` (or is already a
-    mapping) it rides along as ``spans``.
+    mapping) it rides along as ``spans``; *metrics* (a registry or its
+    snapshot) and *resources* (a sampler delta) embed like they do on
+    run records.
     """
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
@@ -218,6 +270,12 @@ def experiment_record(
         record["spans"] = (
             spans.summary() if hasattr(spans, "summary") else dict(spans)
         )
+    if metrics is not None:
+        record["metrics"] = (
+            metrics.snapshot() if hasattr(metrics, "snapshot") else dict(metrics)
+        )
+    if resources is not None:
+        record["resources"] = dict(resources)
     return record
 
 
@@ -259,9 +317,14 @@ def campaign_record(
     trials: int,
     mean: float,
     elapsed_s: float,
+    metrics: Any = None,
 ) -> dict[str, Any]:
-    """Build a ``kind="campaign"`` manifest for one grid point."""
-    return {
+    """Build a ``kind="campaign"`` manifest for one grid point.
+
+    *metrics* (a registry or its snapshot) embeds the grid point's
+    consolidated instrument state like it does on run records.
+    """
+    record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "campaign",
         "campaign": name,
@@ -271,6 +334,11 @@ def campaign_record(
         "mean": float(mean),
         "elapsed_s": round(elapsed_s, 6),
     }
+    if metrics is not None:
+        record["metrics"] = (
+            metrics.snapshot() if hasattr(metrics, "snapshot") else dict(metrics)
+        )
+    return record
 
 
 class TelemetrySink:

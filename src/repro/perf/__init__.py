@@ -18,7 +18,10 @@ reproducibility:
   explicitly.
 - :func:`merge_telemetry` — folds per-worker JSONL telemetry files
   into one validated stream through a
-  :class:`repro.obs.telemetry.TelemetrySink`.
+  :class:`repro.obs.telemetry.TelemetrySink`; :func:`merged_metrics`
+  consolidates the metric snapshots embedded in those files into one
+  :func:`repro.obs.metrics.merge_snapshots` result, deterministically
+  in path order.
 
 Isolation rule: like :mod:`repro.obs`, this package is harness-side
 machinery.  Protocol modules (anything defining a
@@ -32,11 +35,12 @@ from repro.perf.executor import (
     resolve_jobs,
     set_default_jobs,
 )
-from repro.perf.merge import merge_telemetry, worker_telemetry_path
+from repro.perf.merge import merge_telemetry, merged_metrics, worker_telemetry_path
 
 __all__ = [
     "default_jobs",
     "merge_telemetry",
+    "merged_metrics",
     "pmap_trials",
     "resolve_jobs",
     "set_default_jobs",

@@ -57,3 +57,33 @@ def merge_telemetry(
         if remove:
             os.remove(path)
     return merged
+
+
+def merged_metrics(
+    paths: Iterable[str | Path], *, strict: bool = True
+) -> dict[str, Any]:
+    """Consolidate the metric snapshots embedded in worker telemetry.
+
+    Reads every record of every existing path (in the caller's path
+    order — pass worker index order for determinism, exactly like
+    :func:`merge_telemetry`) and merges each record's ``metrics``
+    snapshot with :func:`repro.obs.metrics.merge_snapshots`: counters
+    and histograms add, gauges keep the last write with folded
+    extremes.  Workers that wrote no telemetry (or no snapshots)
+    simply contribute nothing, so the serial-fallback and
+    worker-failure paths of :func:`repro.perf.pmap_trials` merge
+    cleanly.  Returns an empty-registry snapshot when no snapshots
+    were found.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    snapshots: list[dict[str, Any]] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        for record in read_telemetry(path, strict=strict):
+            snapshot = record.get("metrics")
+            if snapshot is not None:
+                snapshots.append(snapshot)
+    return merge_snapshots(snapshots)

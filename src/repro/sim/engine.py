@@ -91,7 +91,12 @@ class Engine:
         Optional streaming probe (see :mod:`repro.obs.probe`).  Fired
         per slot and per channel event; probes whose
         ``observes_nodes`` attribute is true additionally receive every
-        node's action and outcome.
+        node's action and outcome.  These hook points are the engine's
+        whole instrumentation surface: spans, watchdogs, and the
+        metrics registry feeder
+        (:class:`repro.obs.metrics.MetricsProbe` — slots, broadcasts,
+        collisions, deliveries) all ride them, so adding an instrument
+        never adds a new hot-path branch.
     profiler:
         Optional profiler (see :mod:`repro.obs.profiler`).  Populates
         the ``engine.collect`` / ``engine.resolve`` / ``engine.deliver``

@@ -317,6 +317,41 @@ class TestR4ProtocolIsolation:
         )
         assert "R4" in rules_hit(findings)
 
+    def test_metrics_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.metrics import MetricsRegistry
+            from repro.sim.protocol import Protocol
+
+            class SelfCounting(Protocol):
+                def begin_slot(self, slot):
+                    return None
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/core/selfcounting.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_metrics_import_in_runner_module_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.metrics import MetricsProbe
+            from repro.sim.engine import build_engine
+
+            def run(network, factory, seed, registry):
+                probe = MetricsProbe(registry, protocol="p")
+                return build_engine(
+                    network, factory, seed=seed, probe=probe
+                ).run(100)
+            """,
+            name="repro/core/runners.py",
+        )
+        assert "R4" not in rules_hit(findings)
+
 
 class TestR5FrozenMutation:
     def test_object_setattr_flagged(self, tmp_path):
@@ -553,6 +588,49 @@ class TestR7ParallelPurity:
             def trial(seed):
                 rng = derive_rng(seed, "trial")
                 return rng.random()
+
+            def sweep(seeds):
+                return pmap_trials(trial, [(s,) for s in seeds])
+            """,
+            select=["R7"],
+        )
+        assert not findings
+
+    def test_module_level_metrics_instrument_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.metrics import MetricsRegistry
+            from repro.perf import pmap_trials
+
+            REGISTRY = MetricsRegistry()
+            TRIALS = REGISTRY.counter("trials", "trial count")
+
+            def trial(seed):
+                TRIALS.inc()
+                return seed * 2
+
+            def sweep(seeds):
+                return pmap_trials(trial, [(s,) for s in seeds])
+            """,
+            select=["R7"],
+        )
+        assert rules_hit(findings) == {"R7"}
+        (finding,) = findings
+        assert "global-write" in finding.message
+        assert "TRIALS.inc()" in finding.message
+
+    def test_per_worker_registry_snapshot_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs.metrics import MetricsRegistry
+            from repro.perf import pmap_trials
+
+            def trial(seed):
+                registry = MetricsRegistry()
+                registry.counter("trials", "trial count").inc()
+                return registry.snapshot()
 
             def sweep(seeds):
                 return pmap_trials(trial, [(s,) for s in seeds])

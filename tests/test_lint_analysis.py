@@ -331,3 +331,63 @@ class TestShippedSources:
         project = self.build()
         assert "repro.sim.engine" in project.imports.modules
         assert "repro.experiments.harness" in project.imports.modules
+        assert "repro.obs.metrics" in project.imports.modules
+
+
+class TestMetricsRegistryEffects:
+    def test_shared_instrument_mutation_reaches_fixpoint(self, tmp_path):
+        """A worker bumping a module-level instrument is a global write.
+
+        The metrics registry's sanctioned parallel pattern is
+        per-worker registries merged via snapshots; this pins the
+        analysis seeing through the anti-pattern (a shared module-level
+        Counter mutated from a pmap-submitted trial), including through
+        a helper call.
+        """
+        project = project_from(
+            tmp_path,
+            {
+                "repro/sweep.py": """
+                    REGISTRY = {}
+
+                    def trial(seed):
+                        record(seed)
+                        return seed
+
+                    def record(seed):
+                        REGISTRY.setdefault(seed, 0)
+                    """,
+            },
+        )
+        signature = project.effects.signature("repro.sweep:trial")
+        assert EFFECT_GLOBAL_WRITE in signature
+
+    def test_instrument_mutator_methods_are_global_writes(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/metered.py": """
+                    TRIALS = object()
+                    PEAK = object()
+                    LATENCY = object()
+
+                    def count():
+                        TRIALS.inc()
+
+                    def level(value):
+                        PEAK.set(value)
+
+                    def sample(value):
+                        LATENCY.observe(value)
+
+                    def local_is_fine():
+                        gauge = object()
+                        gauge.set(1)
+                    """,
+            },
+        )
+        for qualname in ("repro.metered:count", "repro.metered:level", "repro.metered:sample"):
+            assert EFFECT_GLOBAL_WRITE in project.effects.signature(qualname)
+        assert EFFECT_GLOBAL_WRITE not in project.effects.signature(
+            "repro.metered:local_is_fine"
+        )

@@ -204,6 +204,112 @@ class TestReproObsSubcommand:
         assert len(capsys.readouterr().out.strip().splitlines()) == 1
 
 
+class TestMetricsFlag:
+    def _instrumented_file(self, tmp_path, name="metrics.jsonl"):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("demo_hits", "demo counter", labels=("where",)).inc(
+            2, where="cli"
+        )
+        rng = derive_rng(2, "test-obs-cli-metrics")
+        network = Network.static(shared_core(8, 6, 2, rng))
+        path = tmp_path / name
+        with TelemetrySink(path) as sink:
+            sink.emit(
+                run_record(
+                    protocol="cogcast",
+                    seed=0,
+                    network=network,
+                    slots=9,
+                    outcome="completed",
+                    metrics=registry,
+                )
+            )
+        return path
+
+    def test_summary_metrics_renders_prometheus(self, tmp_path, capsys):
+        path = self._instrumented_file(tmp_path)
+        assert obs_main(["summary", str(path), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics (1 snapshots merged):" in out
+        assert 'demo_hits_total{where="cli"} 2' in out
+
+    def test_summary_metrics_without_snapshots(self, telemetry_file, capsys):
+        assert obs_main(["summary", str(telemetry_file), "--metrics"]) == 0
+        assert "no metric snapshots embedded" in capsys.readouterr().out
+
+    def test_tail_metrics_renders_per_record(self, tmp_path, capsys):
+        path = self._instrumented_file(tmp_path)
+        assert obs_main(["tail", str(path), "-n", "1", "--metrics"]) == 0
+        assert "demo_hits_total" in capsys.readouterr().out
+
+    def test_summary_glob_merges_shards(self, tmp_path, capsys):
+        self._instrumented_file(tmp_path, "shard_0.jsonl")
+        self._instrumented_file(tmp_path, "shard_1.jsonl")
+        pattern = str(tmp_path / "shard_*.jsonl")
+        assert obs_main(["summary", pattern, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "cogcast: 2 runs" in out
+        assert "metrics (2 snapshots merged):" in out
+        assert 'demo_hits_total{where="cli"} 4' in out
+
+    def test_validate_glob_expansion(self, tmp_path, capsys):
+        self._instrumented_file(tmp_path, "shard_0.jsonl")
+        self._instrumented_file(tmp_path, "shard_1.jsonl")
+        assert obs_main(["validate", str(tmp_path / "shard_*.jsonl")]) == 0
+        assert "2 records valid" in capsys.readouterr().out
+
+
+class TestDiffSubcommand:
+    def test_self_diff_is_identical(self, telemetry_file, capsys):
+        assert obs_main(["diff", str(telemetry_file), str(telemetry_file)]) == 0
+        assert "IDENTICAL protocol metrics" in capsys.readouterr().out
+
+    def test_diverging_files_exit_nonzero(self, telemetry_file, tmp_path, capsys):
+        rng = derive_rng(1, "test-obs-cli")
+        network = Network.static(shared_core(8, 6, 2, rng))
+        other = tmp_path / "other.jsonl"
+        with TelemetrySink(other) as sink:
+            for seed in range(4):
+                sink.emit(
+                    run_record(
+                        protocol="cogcast",
+                        seed=seed,
+                        network=network,
+                        slots=40 + seed,
+                        outcome="completed",
+                    )
+                )
+        assert obs_main(["diff", str(telemetry_file), str(other)]) == 1
+        assert "SIGNIFICANT" in capsys.readouterr().out
+
+    def test_json_and_report_output(self, telemetry_file, tmp_path, capsys):
+        report_path = tmp_path / "diff.json"
+        assert (
+            obs_main(
+                [
+                    "diff",
+                    str(telemetry_file),
+                    str(telemetry_file),
+                    "--json",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["significant"] == 0
+        assert json.loads(report_path.read_text())["significant"] == 0
+
+    def test_diff_via_main_cli(self, telemetry_file, capsys):
+        assert (
+            repro_main(["obs", "diff", str(telemetry_file), str(telemetry_file)]) == 0
+        )
+        assert "diff:" in capsys.readouterr().out
+
+
 class TestRunTelemetryFlag:
     def test_run_appends_experiment_manifest(self, tmp_path, capsys):
         path = tmp_path / "telemetry.jsonl"

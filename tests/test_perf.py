@@ -18,6 +18,7 @@ from repro.obs.telemetry import TelemetrySink, read_telemetry, run_record
 from repro.perf import (
     default_jobs,
     merge_telemetry,
+    merged_metrics,
     pmap_trials,
     resolve_jobs,
     set_default_jobs,
@@ -162,6 +163,65 @@ class TestTelemetryMerge:
         with TelemetrySink(tmp_path / "t.jsonl") as sink:
             count = merge_telemetry([path, missing], sink)
         assert count == 1
+
+
+class TestMergedMetrics:
+    @staticmethod
+    def _instrumented_record(seed, hits):
+        import random
+
+        from repro.assignment import shared_core
+        from repro.obs.metrics import MetricsRegistry
+        from repro.sim import Network
+
+        registry = MetricsRegistry()
+        registry.counter("worker_hits", "per-worker hit count").inc(hits)
+        registry.gauge("worker_last_seed", "last seed processed").set(seed)
+        network = Network.static(shared_core(8, 4, 2, random.Random(0)))
+        return run_record(
+            protocol="cogcast",
+            seed=seed,
+            network=network,
+            slots=10 + seed,
+            outcome="completed",
+            metrics=registry,
+        )
+
+    def _shard(self, tmp_path, index, hits):
+        path = worker_telemetry_path(tmp_path / "t.jsonl", index)
+        with TelemetrySink(path) as sink:
+            sink.emit(self._instrumented_record(index, hits))
+        return path
+
+    def test_counters_add_across_worker_shards(self, tmp_path):
+        paths = [self._shard(tmp_path, index, hits=index + 1) for index in range(3)]
+        snapshot = merged_metrics(paths)
+        series = snapshot["metrics"]["worker_hits"]["series"]
+        assert series[0]["value"] == 6
+
+    def test_path_order_determines_gauge_winner(self, tmp_path):
+        paths = [self._shard(tmp_path, index, hits=1) for index in range(3)]
+        snapshot = merged_metrics(paths)
+        series = snapshot["metrics"]["worker_last_seed"]["series"]
+        assert series[0]["value"] == 2
+        assert series[0]["min"] == 0
+        assert series[0]["max"] == 2
+
+    def test_missing_worker_files_contribute_nothing(self, tmp_path):
+        present = self._shard(tmp_path, 0, hits=4)
+        missing = worker_telemetry_path(tmp_path / "t.jsonl", 1)
+        snapshot = merged_metrics([present, missing])
+        assert snapshot["metrics"]["worker_hits"]["series"][0]["value"] == 4
+
+    def test_uninstrumented_serial_fallback_merges_empty(self, tmp_path):
+        path = worker_telemetry_path(tmp_path / "t.jsonl", 0)
+        with TelemetrySink(path) as sink:
+            sink.emit(TestTelemetryMerge._record(0))
+        snapshot = merged_metrics([path])
+        assert snapshot == {"schema": 1, "metrics": {}}
+        from repro.obs.metrics import validate_snapshot
+
+        assert validate_snapshot(snapshot) == []
 
 
 class TestCliJobs:
