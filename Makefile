@@ -7,7 +7,7 @@
 PYTHON ?= python
 JOBS ?= 1
 
-.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check experiments report examples obs-demo trace-demo metrics-demo all
+.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check experiments report examples obs-demo trace-demo metrics-demo vector-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -68,6 +68,15 @@ metrics-demo:
 		--telemetry metrics_demo.jsonl
 	PYTHONPATH=src $(PYTHON) -m repro obs summary metrics_demo.jsonl --metrics
 	PYTHONPATH=src $(PYTHON) -m repro obs diff metrics_demo.jsonl metrics_demo.jsonl
+
+# The vector engine backend end to end: report which backends this
+# environment can run, then run E01 on the columnar kernel (numpy) and
+# on the exact engine — the tables must match statistically (Tier B;
+# see docs/performance.md "Backends").
+vector-demo:
+	PYTHONPATH=src $(PYTHON) -m repro --version
+	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --backend vector
+	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --backend exact
 
 # Export Chrome-trace/Perfetto timelines for both protocols (load the
 # JSON at ui.perfetto.dev or chrome://tracing).

@@ -30,6 +30,7 @@ from repro.core.cogcast import BroadcastResult
 from repro.obs.metrics import MetricsProbe
 from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
+from repro.sim.backends import AllInformed, resolve_backend
 from repro.sim.channels import ChannelAssignment, Network
 from repro.sim.collision import CollisionModel
 from repro.sim.engine import Engine, build_engine, make_views
@@ -41,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.obs.probe import SlotProbe
     from repro.obs.profiler import Profiler
     from repro.obs.telemetry import TelemetrySink
+    from repro.sim.backends import EngineBackend
 
 
 def _engine_probe(
@@ -115,6 +117,7 @@ def run_rendezvous_broadcast(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> BroadcastResult:
     """Run the baseline until every node has heard the source."""
 
@@ -130,14 +133,12 @@ def run_rendezvous_broadcast(
         collision=collision,
         probe=_engine_probe(probe, metrics, "rendezvous-broadcast"),
         profiler=profiler,
+        backend=backend,
     )
     protocols: list[RendezvousBroadcast] = engine.protocols  # type: ignore[assignment]
 
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
     run_start = perf_counter()
-    result = engine.run(max_slots, stop_when=all_informed)
+    result = engine.run(max_slots, stop_when=AllInformed(protocols))
     elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
@@ -169,6 +170,7 @@ def run_stay_and_scan_broadcast(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> BroadcastResult:
     """Run the deterministic broadcast to completion (<= c^2 slots)."""
     c = network.channels_per_node
@@ -186,14 +188,12 @@ def run_stay_and_scan_broadcast(
         collision=collision,
         probe=_engine_probe(probe, metrics, "stay-and-scan"),
         profiler=profiler,
+        backend=backend,
     )
     protocols: list[StayAndScanBroadcast] = engine.protocols  # type: ignore[assignment]
 
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
     run_start = perf_counter()
-    result = engine.run(budget, stop_when=all_informed)
+    result = engine.run(budget, stop_when=AllInformed(protocols))
     elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
@@ -225,6 +225,7 @@ def run_rendezvous_aggregation(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> BaselineAggregationResult:
     """Run the baseline until the source holds every node's value."""
     n = network.num_nodes
@@ -243,6 +244,7 @@ def run_rendezvous_aggregation(
         collision=collision,
         probe=_engine_probe(probe, metrics, "rendezvous-aggregation"),
         profiler=profiler,
+        backend=backend,
     )
     collector: RendezvousCollector = engine.protocols[source]  # type: ignore[assignment]
 
@@ -286,6 +288,7 @@ def run_hopping_together(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> BroadcastResult:
     """Run the lockstep scan until every node is informed.
 
@@ -307,7 +310,7 @@ def run_hopping_together(
         )
         for view in views
     ]
-    engine = Engine(
+    engine = resolve_backend(backend).build(
         network,
         protocols,
         seed=seed,
@@ -316,11 +319,8 @@ def run_hopping_together(
         profiler=profiler,
     )
 
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
     run_start = perf_counter()
-    result = engine.run(max_slots, stop_when=all_informed)
+    result = engine.run(max_slots, stop_when=AllInformed(protocols))
     elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,

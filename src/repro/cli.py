@@ -27,14 +27,34 @@ from typing import Sequence
 from repro.experiments.registry import get, load_all
 
 
+def _version_string() -> str:
+    """Version plus which engine backends this environment can run."""
+    from repro import __version__
+    from repro.sim.backends import available_backends
+
+    described = ", ".join(
+        name if reason is None else f"{name} (unavailable: {reason})"
+        for name, reason in available_backends().items()
+    )
+    return f"repro {__version__} — backends: {described}"
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse CLI (list / run / report subcommands)."""
+    from repro.sim.backends import BACKEND_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
             "Reproduction experiments for 'Efficient Communication in "
             "Cognitive Radio Networks' (PODC 2015)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=_version_string(),
+        help="print the version and available engine backends",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -61,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append one JSONL manifest per experiment to FILE",
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="engine backend for all runs (default: exact); 'vector' "
+        "needs numpy and transparently falls back per run when a "
+        "configuration has no columnar form",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -82,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--telemetry", default=None, metavar="FILE",
         help="append one JSONL manifest per experiment to FILE",
+    )
+    report_parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="engine backend for all runs (default: exact)",
     )
 
     obs_parser = subparsers.add_parser(
@@ -208,6 +242,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.perf import set_default_jobs
 
         set_default_jobs(args.jobs)
+    if args.command in ("run", "report") and args.backend is not None:
+        from repro.sim.backends import set_default_backend
+
+        set_default_backend(args.backend)
     if args.command == "run":
         sink = _open_sink(args.telemetry)
         try:

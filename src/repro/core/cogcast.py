@@ -70,6 +70,11 @@ class CogCast(Protocol):
     report :attr:`informed`, or after the Theorem 4 slot bound).
     """
 
+    #: Columnar program tag for the vector engine backend.  Duck-typed:
+    #: this module imports nothing from ``repro.sim.backends`` (R4); the
+    #: backend matches the tag and batch-executes the same per-slot rule.
+    vector_kind = "epidemic-broadcast"
+
     def __init__(
         self,
         view: NodeView,
@@ -124,6 +129,33 @@ class CogCast(Protocol):
                     first_informed=first_informed,
                 )
             )
+
+    def vector_export(self) -> dict[str, Any]:
+        """Snapshot the state the vector backend batch-executes.
+
+        ``rng`` is the node's own stream (handed over for replay-mode
+        draws); ``keep_log`` tells the backend this node needs per-slot
+        records it cannot produce, forcing the exact engine.
+        """
+        return {
+            "informed": self.informed,
+            "message": self.message,
+            "parent": self.parent,
+            "informed_slot": self.informed_slot,
+            "informed_label": self.informed_label,
+            "current_label": self._current_label,
+            "keep_log": self.keep_log,
+            "rng": self.view.rng,
+        }
+
+    def vector_import(self, state: dict[str, Any]) -> None:
+        """Restore state after a columnar run (plain Python values)."""
+        self.informed = state["informed"]
+        self.message = state["message"]
+        self.parent = state["parent"]
+        self.informed_slot = state["informed_slot"]
+        self.informed_label = state["informed_label"]
+        self._current_label = state["current_label"]
 
 
 @dataclass(frozen=True, slots=True)

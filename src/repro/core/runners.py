@@ -34,6 +34,7 @@ from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
 from repro.obs.watchdog import flush_anomalies
 from repro.sim.adversary import Jammer
+from repro.sim.backends import AllInformed
 from repro.sim.channels import Network
 from repro.sim.collision import CollisionModel
 from repro.sim.engine import Engine, build_engine
@@ -48,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.obs.spans import SpanProbe
     from repro.obs.telemetry import TelemetrySink
     from repro.obs.watchdog import WatchdogProbe
+    from repro.sim.backends import EngineBackend
 
 
 def _compose_probe(
@@ -133,6 +135,7 @@ def run_local_broadcast(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> BroadcastResult:
     """Run COGCAST until every node is informed (or *max_slots*).
 
@@ -149,7 +152,10 @@ def run_local_broadcast(
     Run records always carry ``elapsed_s`` (harness ``perf_counter``
     around :meth:`Engine.run`, so it never disengages the fast path)
     and ``fast_path`` (whether the fast kernel ran) when telemetry is
-    attached.
+    attached.  *backend* selects the execution backend (see
+    :mod:`repro.sim.backends`); results are equivalent per the
+    backend's tier, and ineligible configurations transparently run
+    exact.
     """
 
     def factory(view: NodeView) -> CogCast:
@@ -164,14 +170,12 @@ def run_local_broadcast(
         jammer=jammer,
         probe=_compose_probe(probe, spans, watchdogs, _metrics_probe(metrics, "cogcast")),
         profiler=profiler,
+        backend=backend,
     )
     protocols: list[CogCast] = engine.protocols  # type: ignore[assignment]
 
-    def all_informed(_: Engine) -> bool:
-        return all(protocol.informed for protocol in protocols)
-
     run_start = perf_counter()
-    result = engine.run(max_slots, stop_when=all_informed)
+    result = engine.run(max_slots, stop_when=AllInformed(protocols))
     elapsed_s = perf_counter() - run_start
     _emit_run(
         telemetry,
@@ -222,6 +226,7 @@ def run_data_aggregation(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> AggregationResult:
     """Run COGCOMP end to end and return the source's aggregate.
 
@@ -248,6 +253,10 @@ def run_data_aggregation(
     resources:
         Optional started :class:`repro.obs.metrics.ResourceSampler`;
         its delta rides on the run record as ``resources``.
+    backend:
+        Execution backend selection (see :mod:`repro.sim.backends`).
+        COGCOMP's phased protocol has no columnar program, so the
+        vector backend transparently runs it exact.
     """
     from repro.analysis.theory import cogcast_slot_bound
 
@@ -282,6 +291,7 @@ def run_data_aggregation(
         trace=trace,
         probe=_compose_probe(probe, spans, watchdogs, _metrics_probe(metrics, "cogcomp")),
         profiler=profiler,
+        backend=backend,
     )
     protocols: list[CogComp] = engine.protocols  # type: ignore[assignment]
     source_protocol = protocols[source]
@@ -348,12 +358,15 @@ def run_gossip(
     metrics: "MetricsRegistry | None" = None,
     resources: "ResourceSampler | None" = None,
     telemetry: "TelemetrySink | None" = None,
+    backend: "str | EngineBackend | None" = None,
 ) -> GossipResult:
     """Run gossip until every node knows every source's message.
 
     ``sources`` maps originating node id to its message body.
     *metrics* / *resources* embed registry snapshots and sampler deltas
-    in the run record, as in :func:`run_local_broadcast`.
+    in the run record, as in :func:`run_local_broadcast`.  *backend*
+    selects the execution backend; gossip's stop predicate has no
+    columnar form, so the vector backend transparently runs it exact.
     """
     if not sources:
         raise ValueError("need at least one source")
@@ -373,6 +386,7 @@ def run_gossip(
         collision=collision,
         probe=_compose_probe(probe, None, (), _metrics_probe(metrics, "gossip")),
         profiler=profiler,
+        backend=backend,
     )
     protocols: list[GossipCast] = engine.protocols  # type: ignore[assignment]
     want = set(sources)

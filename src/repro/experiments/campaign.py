@@ -88,6 +88,7 @@ class Campaign:
         jobs: int | None = 1,
         watchdogs: Sequence[Any] = (),
         metrics: Any = None,
+        backend: str | None = None,
     ) -> list[PointResult]:
         """Measure every grid point with *trials* independent seeds.
 
@@ -128,6 +129,14 @@ class Campaign:
         that point, so shards merged by
         :func:`repro.perf.merge_telemetry` stay individually
         attributable.
+
+        *backend* names the engine backend (``"exact"``, ``"vector"``,
+        ...) the measure function's runs should use; it is installed as
+        the process default for the duration of the grid (restored
+        after), and :func:`repro.perf.pmap_trials` snapshots it into
+        pool workers, so measure functions pick it up without a
+        parameter of their own.  ``None`` leaves the current default in
+        place.
         """
         if trials < 1:
             raise ValueError("trials must be positive")
@@ -137,12 +146,17 @@ class Campaign:
 
         from repro.perf import pmap_trials
 
+        from repro.sim.backends import backend_scope
+
         tasks = [
             (dict(point), derive_seed(seed, "campaign", self.name, index, trial))
             for index, point in enumerate(grid)
             for trial in range(trials)
         ]
-        flat = pmap_trials(partial(_timed_measure, self.measure), tasks, jobs=jobs)
+        with backend_scope(backend):
+            flat = pmap_trials(
+                partial(_timed_measure, self.measure), tasks, jobs=jobs
+            )
         if metrics is not None:
             point_counter = metrics.counter(
                 "campaign_points", "grid points measured", labels=("campaign",)

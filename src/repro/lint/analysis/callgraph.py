@@ -32,8 +32,11 @@ from repro.lint.analysis.imports import ImportGraph, resolve_external
 from repro.lint.astutil import dotted_name
 from repro.lint.context import ModuleContext
 
-#: ``random.Random`` draw methods; a call to one of these on an
-#: rng-shaped receiver is classified as a seeded-stream draw.
+#: ``random.Random`` and ``numpy.random.Generator`` draw methods; a call
+#: to one of these on an rng-shaped receiver is classified as a
+#: seeded-stream draw.  The numpy names cover the vector engine backend
+#: (``repro.sim.backends``), whose kernels draw whole columns per call
+#: from a generator seeded via ``derive_seed``.
 RNG_DRAW_METHODS = frozenset(
     {
         "betavariate",
@@ -56,6 +59,13 @@ RNG_DRAW_METHODS = frozenset(
         "uniform",
         "vonmisesvariate",
         "weibullvariate",
+        # numpy.random.Generator batch draws (no random.Random namesake).
+        "exponential",
+        "integers",
+        "normal",
+        "permutation",
+        "permuted",
+        "standard_normal",
     }
 )
 

@@ -414,7 +414,9 @@ def _direct_effects(
 
     # --- call-based effects -------------------------------------------
     for site in info.calls:
-        classification = _classify_call(site.dotted, site.external, info, context)
+        classification = _classify_call(
+            site.dotted, site.external, info, context, site.node
+        )
         if classification is not None:
             effect, detail = classification
             record(effect, site.node, detail)
@@ -489,7 +491,9 @@ def classify_call_effect(
     site: "object", info: FunctionInfo, context: ModuleContext
 ) -> tuple[str, str] | None:
     """Public wrapper: the direct effect of one recorded call site."""
-    return _classify_call(site.dotted, site.external, info, context)
+    return _classify_call(
+        site.dotted, site.external, info, context, getattr(site, "node", None)
+    )
 
 
 def _classify_call(
@@ -497,6 +501,7 @@ def _classify_call(
     external: str | None,
     info: FunctionInfo,
     context: ModuleContext,
+    node: ast.Call | None = None,
 ) -> tuple[str, str] | None:
     """Map one call to an effect, if its name proves one."""
     head, _, tail = dotted.partition(".")
@@ -519,6 +524,16 @@ def _classify_call(
             return EFFECT_AMBIENT_RNG, f"{canonical}() draws the ambient stream"
         if remainder == "Random":
             return EFFECT_RNG, f"{canonical}(seed) constructs a seeded stream"
+    # numpy generator construction (the vector-backend carve-out): with
+    # an explicit seed it is a replayable stream; bare it pulls OS
+    # entropy.  Checked before the prefix table, whose ``numpy.random``
+    # entry would blanket-classify it as ambient.
+    if canonical in ("numpy.random.default_rng", "numpy.random.SeedSequence"):
+        if node is not None and (node.args or node.keywords):
+            return EFFECT_RNG, f"{canonical}(seed) constructs a seeded stream"
+        return EFFECT_AMBIENT_RNG, f"{canonical}() self-seeds from OS entropy"
+    if canonical == "numpy.random.Generator":
+        return EFFECT_RNG, f"{canonical}(bit_generator) wraps an explicit stream"
     # Longest-prefix match against the external table.
     probe = canonical
     while probe:

@@ -160,3 +160,13 @@ class ModuleContext:
         """True when the module lives in a protocol-defining package."""
         parts = self.package_parts()
         return len(parts) >= 2 and parts[0] in PROTOCOL_LAYER_DIRS
+
+    def in_backend_layer(self) -> bool:
+        """True when the module is an engine backend (``repro.sim.backends``).
+
+        Backend kernels are engine-side code with a relaxed R1 carve-out
+        (seeded ``numpy.random.default_rng`` streams); nothing in the
+        protocol layer may import them (rule R4).
+        """
+        parts = self.package_parts()
+        return len(parts) >= 2 and parts[:2] == ("sim", "backends")

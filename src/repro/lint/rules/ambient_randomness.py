@@ -7,7 +7,13 @@ Module-level ``random.*`` calls share one ambient, unscoped stream: any
 reordering of consumers silently perturbs every experiment row, and an
 unseeded ``random.Random()`` seeds itself from OS entropy, which breaks
 replay outright.  ``numpy.random`` is banned wholesale for the same
-reason (its global state is process-wide).
+reason (its global state is process-wide) — with one carve-out: the
+engine-backend layer (``repro.sim.backends``) may construct *seeded*
+``numpy.random.Generator`` streams (``default_rng(derive_seed(...))``),
+because a ``Generator`` instance is exactly the per-stream, explicitly
+seeded object this rule exists to enforce.  Unseeded ``default_rng()``
+and the module-level ``numpy.random.*`` draw functions stay forbidden
+everywhere.
 """
 
 from __future__ import annotations
@@ -47,6 +53,11 @@ AMBIENT_FUNCS = frozenset(
     }
 )
 
+#: ``numpy.random`` names the backend layer may import and call: the
+#: explicitly seeded generator constructors, never the module-level
+#: draw functions.
+SEEDED_GENERATOR_NAMES = frozenset({"default_rng", "Generator", "SeedSequence"})
+
 
 @register
 class AmbientRandomnessRule(Rule):
@@ -62,7 +73,11 @@ class AmbientRandomnessRule(Rule):
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         random_aliases = module.aliases_of("random")
         numpy_aliases = module.aliases_of("numpy")
+        numpy_random_aliases = module.aliases_of("numpy.random")
         from_random = module.names_from("random")
+        from_numpy = module.names_from("numpy")
+        from_numpy_random = module.names_from("numpy.random")
+        in_backends = module.in_backend_layer()
 
         # ``from random import shuffle`` is an ambient stream in disguise;
         # flag the import itself so the binding never exists.
@@ -79,7 +94,7 @@ class AmbientRandomnessRule(Rule):
                             "repro.sim.rng.derive_rng instead",
                         )
             if isinstance(node, (ast.Import, ast.ImportFrom)):
-                banned = self._numpy_random_import(node)
+                banned = self._numpy_random_import(node, allow_seeded=in_backends)
                 if banned:
                     yield self.finding(
                         module,
@@ -139,26 +154,80 @@ class AmbientRandomnessRule(Rule):
                     f"unseeded {head}() self-seeds from OS entropy; pass a "
                     "seed from repro.sim.rng.derive_seed",
                 )
+            elif head in numpy_random_aliases and tail:
+                # ``import numpy.random as npr`` — tail is the attribute.
+                yield from self._numpy_random_call(
+                    module, node, name, tail, in_backends
+                )
+            elif head in from_numpy and from_numpy[head] == "random" and tail:
+                # ``from numpy import random as npr`` — same shape.
+                yield from self._numpy_random_call(
+                    module, node, name, tail, in_backends
+                )
             elif head in numpy_aliases and tail.startswith("random"):
+                yield from self._numpy_random_call(
+                    module, node, name, tail.partition(".")[2], in_backends
+                )
+            elif not tail and head in from_numpy_random:
+                # ``from numpy.random import default_rng`` — bare call.
+                yield from self._numpy_random_call(
+                    module, node, name, from_numpy_random[head], in_backends
+                )
+
+    def _numpy_random_call(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        name: str,
+        attr: str,
+        in_backends: bool,
+    ) -> Iterator[Finding]:
+        """Findings for one call into ``numpy.random`` (*attr* below it)."""
+        if in_backends and attr in SEEDED_GENERATOR_NAMES:
+            # Seeded generator construction is the carve-out; calling the
+            # constructor with no arguments still pulls OS entropy.
+            if attr in ("default_rng", "SeedSequence") and not (
+                node.args or node.keywords
+            ):
                 yield self.finding(
                     module,
                     node.lineno,
                     node.col_offset,
-                    f"{name}() is forbidden: numpy.random breaks per-stream "
-                    "reproducibility; use repro.sim.rng.derive_rng",
+                    f"unseeded {name}() self-seeds from OS entropy; pass a "
+                    "seed from repro.sim.rng.derive_seed",
                 )
+            return
+        yield self.finding(
+            module,
+            node.lineno,
+            node.col_offset,
+            f"{name}() is forbidden: numpy.random breaks per-stream "
+            "reproducibility; use repro.sim.rng.derive_rng",
+        )
 
     @staticmethod
-    def _numpy_random_import(node: ast.Import | ast.ImportFrom) -> str | None:
+    def _numpy_random_import(
+        node: ast.Import | ast.ImportFrom, *, allow_seeded: bool = False
+    ) -> str | None:
+        """The banned import spelled out, or ``None`` when permitted.
+
+        *allow_seeded* (the ``repro.sim.backends`` layer) permits binding
+        ``numpy.random`` itself and its seeded generator constructors;
+        importing a module-level draw function stays banned there too.
+        """
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name.startswith("numpy.random"):
+                if alias.name.startswith("numpy.random") and not allow_seeded:
                     return f"import {alias.name}"
             return None
         if node.module and node.module.startswith("numpy.random"):
+            if allow_seeded and all(
+                alias.name in SEEDED_GENERATOR_NAMES for alias in node.names
+            ):
+                return None
             return f"from {node.module} import ..."
         if node.module == "numpy" and any(
             alias.name == "random" for alias in node.names
         ):
-            return "from numpy import random"
+            return None if allow_seeded else "from numpy import random"
         return None

@@ -30,12 +30,18 @@ from repro.lint.registry import Rule, register
 #: its NodeView.  The check is prefix-based, so every ``repro.obs``
 #: submodule is covered — including ``repro.obs.metrics``: a protocol
 #: that incremented a counter or read a gauge would be publishing to /
-#: consulting global state no radio node has.
+#: consulting global state no radio node has.  ``repro.sim.backends``
+#: is the engine-selection layer (its kernels see every node's state at
+#: once), and ``numpy`` is banned directly: a protocol's columnar form
+#: is *compiled by* a backend from the protocol's declared exports —
+#: the node algorithm itself stays scalar, per-slot, NodeView-only.
 FORBIDDEN_MODULES = (
     "repro.sim.engine",
     "repro.sim.channels",
+    "repro.sim.backends",
     "repro.obs",
     "repro.perf",
+    "numpy",
 )
 
 #: Engine/world names re-exported by ``repro.sim`` — importing them from

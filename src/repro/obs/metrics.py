@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs.aggregators import FixedHistogram, StreamingStat
 
@@ -640,6 +640,48 @@ class MetricsProbe:
             self.deliveries.inc(live_listeners, protocol=protocol)
         else:
             self.wasted_listens.inc(live_listeners, protocol=protocol)
+
+    def on_vector_run(
+        self,
+        *,
+        slots: int,
+        contention: "Sequence[int]",
+        deliveries: int,
+        wasted_listens: int,
+    ) -> None:
+        """Fold one vector-backend run's aggregates in bulk.
+
+        The vector engine fires no per-slot or per-channel hooks; it
+        accumulates the same quantities columnar and feeds them here
+        once per run.  *contention* is the per-contended-channel
+        contender count in chronological (slot, ascending channel)
+        order, so histogram and streaming-stat state match an exact-
+        engine run observation for observation.  Series are created
+        under the same conditions as the per-event path (e.g. no
+        ``sim_collisions`` series in a collision-free run), keeping
+        registry snapshots comparable across backends.
+        """
+        protocol = self.protocol
+        if slots:
+            self.slots.inc(slots, protocol=protocol)
+        if contention:
+            broadcasts = 0
+            collisions = 0
+            for contenders in contention:
+                self.contention.observe(contenders, protocol=protocol)
+                broadcasts += contenders
+                if contenders >= 2:
+                    collisions += 1
+                # Gauge min/max track every set() call, so replay the
+                # running-maximum set sequence, not one final set.
+                if contenders > self.peak_contention.value(protocol=protocol):
+                    self.peak_contention.set(contenders, protocol=protocol)
+            self.broadcasts.inc(broadcasts, protocol=protocol)
+            if collisions:
+                self.collisions.inc(collisions, protocol=protocol)
+            self.deliveries.inc(deliveries, protocol=protocol)
+        if wasted_listens:
+            self.wasted_listens.inc(wasted_listens, protocol=protocol)
 
     def on_contention(self, contenders: int, resolution: Any) -> None:
         """Unused deeper hook (collision-layer attach)."""

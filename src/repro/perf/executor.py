@@ -72,6 +72,25 @@ def _picklable(payload: Any) -> bool:
     return True
 
 
+def _init_worker(backend_name: str) -> None:
+    """Propagate the parent's default engine backend into a pool worker.
+
+    Per-process defaults (``set_default_backend``, i.e. the CLI's
+    ``--backend``) don't cross the process boundary on spawn-start
+    platforms, so the pool snapshots the parent's default at fan-out
+    time.  Deliberately exception-proof: an initializer that raises
+    breaks the whole pool, and backend selection is an optimization —
+    a worker that falls back to the default backend still returns
+    correct results.
+    """
+    try:
+        from repro.sim.backends import set_default_backend
+
+        set_default_backend(backend_name)
+    except Exception:
+        pass
+
+
 def pmap_trials(
     fn: Callable[..., Any],
     argument_tuples: Sequence[tuple],
@@ -98,8 +117,14 @@ def pmap_trials(
         return [fn(*args) for args in items]
     if not _picklable((fn, items)):
         return [fn(*args) for args in items]
+    from repro.sim.backends import default_backend_name
+
     try:
-        executor = ProcessPoolExecutor(max_workers=workers)
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(default_backend_name(),),
+        )
     except (ImportError, NotImplementedError, OSError, ValueError):
         return [fn(*args) for args in items]
     with executor:

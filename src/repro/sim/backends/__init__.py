@@ -1,0 +1,78 @@
+"""Engine execution backends (ISSUE 8 tentpole).
+
+One registry, three entries:
+
+- ``"exact"`` — the reference per-node engine (general + fast-path
+  kernels), bit-identical to historical behavior.  The default.
+- ``"vector"`` — the numpy columnar engine (Tier-B numpy RNG streams;
+  an order of magnitude faster at ``n >= 10^4``).
+- ``"vector-replay"`` — the columnar engine drawing from the exact
+  engine's Python RNG streams in the exact engine's order, producing
+  bit-identical runs (Tier A); used by the equivalence tests and
+  available anywhere a slower-but-provably-exact vector run is wanted.
+
+Importing this package never imports numpy: the vector backend loads it
+lazily on first build and raises :class:`BackendUnavailableError` with
+an actionable one-liner when it is missing.  Use
+:func:`available_backends` to see what can run here.
+"""
+
+from __future__ import annotations
+
+from repro.sim.backends.base import (
+    AllInformed,
+    BackendUnavailableError,
+    EngineBackend,
+    StopCondition,
+    backend_scope,
+    default_backend_name,
+    numpy_available,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.sim.backends.exact import ExactBackend
+from repro.sim.backends.vector import VectorBackend, VectorEngine
+
+_BACKENDS: dict[str, EngineBackend] = {
+    "exact": ExactBackend(),
+    "vector": VectorBackend(),
+    "vector-replay": VectorBackend(rng_mode="replay"),
+}
+
+#: Names accepted by ``build_engine(backend=...)`` and ``--backend``.
+BACKEND_NAMES: tuple[str, ...] = tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> EngineBackend:
+    """The registered backend for *name* (shared stateless instance)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(BACKEND_NAMES)
+        raise ValueError(
+            f"unknown backend {name!r}; known backends: {known}"
+        ) from None
+
+
+def available_backends() -> dict[str, str | None]:
+    """Map every backend name to ``None`` (usable) or why it is not."""
+    return {name: _BACKENDS[name].unavailable_reason() for name in BACKEND_NAMES}
+
+
+__all__ = [
+    "AllInformed",
+    "BACKEND_NAMES",
+    "BackendUnavailableError",
+    "EngineBackend",
+    "ExactBackend",
+    "StopCondition",
+    "VectorBackend",
+    "VectorEngine",
+    "available_backends",
+    "backend_scope",
+    "default_backend_name",
+    "get_backend",
+    "numpy_available",
+    "resolve_backend",
+    "set_default_backend",
+]

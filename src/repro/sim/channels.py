@@ -179,6 +179,19 @@ class AssignmentSchedule(abc.ABC):
     def at(self, slot: int) -> ChannelAssignment:
         """The assignment in force during *slot*."""
 
+    def labels_at(self, slot: int) -> tuple[tuple[int, ...], ...]:
+        """Every node's ordered channel tuple at *slot*, in one call.
+
+        ``labels_at(slot)[node][label]`` is the physical channel node
+        ``node`` reaches through local label ``label`` — the full
+        label->channel table as one batch query, so columnar consumers
+        (the vector backend) pay one schedule lookup per slot instead of
+        ``n`` per-node ``physical`` calls.  Goes through :meth:`at`, so
+        :class:`DynamicSchedule` caching (and its LRU bound) applies
+        unchanged.
+        """
+        return self.at(slot).channels
+
     @property
     @abc.abstractmethod
     def num_nodes(self) -> int: ...

@@ -36,7 +36,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.sim.actions import Action, Broadcast, Envelope, Idle, Listen, SlotOutcome
 from repro.sim.adversary import Jammer, NullJammer
@@ -536,16 +536,29 @@ def build_engine(
     probe: "SlotProbe | None" = None,
     profiler: "Profiler | None" = None,
     fast_path: bool = True,
-) -> Engine:
+    backend: object = None,
+) -> Any:
     """Convenience constructor: build views, protocols, and the engine.
 
     *protocol_factory* receives each node's :class:`NodeView` and returns
     that node's protocol (it can branch on ``view.node_id`` to make one
     node the source).
+
+    *backend* selects the execution backend: a registry name
+    (``"exact"``, ``"vector"``, ``"vector-replay"``), an
+    :class:`~repro.sim.backends.base.EngineBackend` instance, or
+    ``None`` for the per-process default (``"exact"`` unless changed via
+    :func:`repro.sim.backends.set_default_backend` / the CLI's
+    ``--backend`` flag).  Whatever the backend, the returned object has
+    the :class:`Engine` run surface; views, protocols, and seed
+    derivation are identical across backends.
     """
+    # Imported here, not at module top: backends import this module.
+    from repro.sim.backends.base import resolve_backend
+
     views = make_views(network, seed)
     protocols = [protocol_factory(view) for view in views]
-    return Engine(
+    return resolve_backend(backend).build(
         network,
         protocols,
         collision=collision,

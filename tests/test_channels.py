@@ -159,6 +159,32 @@ class TestSchedules:
         with pytest.raises(ValueError):
             DynamicSchedule(lambda slot: simple_assignment(), max_cache=0)
 
+    def test_labels_at_matches_per_node_lookup(self):
+        a = simple_assignment()
+        static = StaticSchedule(a)
+        assert static.labels_at(7) == a.channels
+        dynamic = DynamicSchedule(
+            lambda slot: shared_core(4, 3, 1, random.Random(slot))
+        )
+        table = dynamic.labels_at(5)
+        assert table == dynamic.at(5).channels
+
+    def test_labels_at_respects_cache_bound(self):
+        """The batch query is one ``at`` call: the LRU bound still holds."""
+        calls = []
+
+        def generate(slot: int) -> ChannelAssignment:
+            calls.append(slot)
+            return simple_assignment()
+
+        schedule = DynamicSchedule(generate, max_cache=2)
+        for slot in (0, 1, 2, 1, 2):
+            schedule.labels_at(slot)
+        assert schedule.cache_size == 2
+        assert calls == [0, 1, 2]  # 1 and 2 served from cache on repeat
+        schedule.labels_at(0)  # evicted by the bound: regenerated
+        assert calls == [0, 1, 2, 0]
+
 
 class TestNetwork:
     def test_static_constructor_validates(self):

@@ -105,6 +105,81 @@ class TestR1AmbientRandomness:
         )
         assert not findings
 
+    SEEDED_DEFAULT_RNG = """
+        import numpy as np
+
+        from repro.sim.rng import derive_seed
+
+        def make(seed):
+            return np.random.default_rng(derive_seed(seed, "vector-engine"))
+        """
+
+    def test_seeded_default_rng_in_backend_layer_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.SEEDED_DEFAULT_RNG, name="repro/sim/backends/vector.py"
+        )
+        assert "R1" not in rules_hit(findings)
+
+    def test_seeded_default_rng_outside_backend_layer_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.SEEDED_DEFAULT_RNG, name="repro/analysis/noise.py"
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_unseeded_default_rng_in_backend_layer_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+            """,
+            name="repro/sim/backends/vector.py",
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_module_draw_in_backend_layer_still_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def noise(count):
+                return np.random.rand(count)
+            """,
+            name="repro/sim/backends/vector.py",
+        )
+        assert "R1" in rules_hit(findings)
+
+    def test_from_numpy_random_default_rng_in_backend_layer_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from numpy.random import default_rng
+
+            from repro.sim.rng import derive_seed
+
+            def make(seed):
+                return default_rng(derive_seed(seed, "vector-engine"))
+            """,
+            name="repro/sim/backends/vector.py",
+        )
+        assert "R1" not in rules_hit(findings)
+
+    def test_numpy_random_module_alias_argless_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy.random as npr
+
+            def make():
+                return npr.default_rng()
+            """,
+            name="repro/sim/backends/vector.py",
+        )
+        assert "R1" in rules_hit(findings)
+
 
 class TestR2Wallclock:
     def test_time_time_flagged(self, tmp_path):
@@ -297,6 +372,56 @@ class TestR4ProtocolIsolation:
                 return pmap_trials(measure, [(s,) for s in seeds], jobs=jobs)
             """,
             name="repro/experiments/sweep.py",
+        )
+        assert "R4" not in rules_hit(findings)
+
+    def test_numpy_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            from repro.sim.protocol import Protocol
+
+            class Columnar(Protocol):
+                def begin_slot(self, slot):
+                    return None
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/core/columnar.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_backends_import_in_protocol_module_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.backends import VectorBackend
+            from repro.sim.protocol import Protocol
+
+            class SelfVectorizing(Protocol):
+                def begin_slot(self, slot):
+                    return None
+
+                def end_slot(self, slot, outcome):
+                    return None
+            """,
+            name="repro/core/selfvec.py",
+        )
+        assert "R4" in rules_hit(findings)
+
+    def test_backends_import_in_runner_module_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.sim.backends import resolve_backend
+
+            def run(network, factory, seed, backend=None):
+                return resolve_backend(backend)
+            """,
+            name="repro/core/runners.py",
         )
         assert "R4" not in rules_hit(findings)
 

@@ -12,6 +12,7 @@ import pathlib
 import textwrap
 
 from repro.lint.analysis import (
+    EFFECT_AMBIENT_RNG,
     EFFECT_GLOBAL_WRITE,
     EFFECT_IO,
     EFFECT_RNG,
@@ -170,6 +171,48 @@ class TestEffects:
             },
         )
         assert project.effects.signature("repro.draws:walk") == {EFFECT_RNG}
+
+    def test_numpy_generator_draws_classified_as_rng(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/sim/backends/kernel.py": """
+                    def draw_labels(np_rng, count, channels):
+                        return np_rng.integers(0, channels, size=count)
+
+                    def draw_keys(np_rng, count):
+                        return np_rng.random(count)
+                    """,
+            },
+        )
+        effects = project.effects
+        assert effects.signature("repro.sim.backends.kernel:draw_labels") == {
+            EFFECT_RNG
+        }
+        assert effects.signature("repro.sim.backends.kernel:draw_keys") == {
+            EFFECT_RNG
+        }
+
+    def test_seeded_default_rng_is_rng_unseeded_is_ambient(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            {
+                "repro/sim/backends/gen.py": """
+                    import numpy as np
+
+                    def seeded(seed):
+                        return np.random.default_rng(seed)
+
+                    def unseeded():
+                        return np.random.default_rng()
+                    """,
+            },
+        )
+        effects = project.effects
+        assert effects.signature("repro.sim.backends.gen:seeded") == {EFFECT_RNG}
+        assert effects.signature("repro.sim.backends.gen:unseeded") == {
+            EFFECT_AMBIENT_RNG
+        }
 
     def test_module_state_mutation_is_global_write(self, tmp_path):
         project = project_from(
