@@ -7,7 +7,7 @@
 PYTHON ?= python
 JOBS ?= 1
 
-.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check experiments report examples obs-demo trace-demo metrics-demo vector-demo all
+.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check sanitize experiments report examples obs-demo trace-demo metrics-demo vector-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -44,6 +44,14 @@ bench-save:
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro bench check --history 'BENCH_*.json' \
 		--report bench_report.json
+
+# Dual-run determinism sanitizer: re-run a small seeded experiment
+# under perturbed PYTHONHASHSEED / jobs / backend and bit-diff the
+# captured tables and telemetry (exit 1 on any divergence; the runtime
+# twin of lint rules R3/R6/R7/R11-R13).
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro sanitize E01 --fast --trials 2 \
+		--report sanitize_report.json
 
 experiments:
 	PYTHONPATH=src $(PYTHON) -m repro run all --jobs $(JOBS)

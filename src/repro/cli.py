@@ -10,6 +10,7 @@ Usage::
     repro-experiments obs diff A.jsonl B.jsonl
     repro-experiments obs export-trace --protocol cogcomp -o trace.json
     repro-experiments bench check [CANDIDATE.json] --history 'BENCH_*.json'
+    repro-experiments sanitize E01 [--fast] [--checks hashseed,jobs,backend]
 
 (Equivalently ``python -m repro ...``.  ``lint`` is also installed as
 the standalone ``repro-lint`` console script (see :mod:`repro.lint`)
@@ -166,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the JSON report instead of text"
     )
 
+    sanitize_parser = subparsers.add_parser(
+        "sanitize",
+        help="dual-run determinism sanitizer: perturb hashseed/jobs/"
+        "backend and bit-diff the captured tables and telemetry",
+    )
+    from repro.sanitize import add_arguments as add_sanitize_arguments
+
+    add_sanitize_arguments(sanitize_parser)
+
     lint_parser = subparsers.add_parser(
         "lint", help="check sources against the model-soundness rules"
     )
@@ -179,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--ignore", default=None, metavar="RULES")
     lint_parser.add_argument("--baseline", default=None, metavar="FILE")
     lint_parser.add_argument("--update-baseline", action="store_true")
+    lint_parser.add_argument("--prune-baseline", action="store_true")
     lint_parser.add_argument("--list-rules", action="store_true")
     lint_parser.add_argument("--explain", default=None, metavar="RULE")
     lint_parser.add_argument("--root", default="src/repro", metavar="PATH")
@@ -297,7 +308,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             ignore=args.ignore,
             baseline=args.baseline,
             update_baseline=args.update_baseline,
+            prune_baseline=args.prune_baseline,
         )
+    if args.command == "sanitize":
+        from repro.sanitize import dispatch as sanitize_dispatch
+
+        return sanitize_dispatch(args)
     if args.command == "obs":
         from repro.obs import cli as obs_cli
 

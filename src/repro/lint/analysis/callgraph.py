@@ -432,6 +432,48 @@ class _Resolver:
         return None
 
 
+def method_on_class(
+    graph: CallGraph,
+    imports: ImportGraph,
+    class_qualname: str,
+    method: str,
+) -> str | None:
+    """Resolve *method* on ``module:Class``, walking project bases.
+
+    The public face of the resolver's method lookup, for rules that
+    reason about a class's *effective* interface (R11 needs the
+    ``vector_export`` a protocol inherits, not just the one it defines).
+    Returns the method's function qualname, or ``None`` when neither the
+    class nor any project-resolvable base defines it.
+    """
+    return _Resolver(graph, imports)._method_on_class(class_qualname, method)
+
+
+def class_in_project(
+    graph: CallGraph,
+    imports: ImportGraph,
+    name: str,
+    module: str,
+    depth: int = 0,
+) -> str | None:
+    """Resolve a bare class name used in *module* to a project class.
+
+    Follows ``from m import C`` chains through re-export modules, like
+    :meth:`_Resolver._through_import` does for functions.  Returns the
+    class qualname (``module:Class``) or ``None``.
+    """
+    if depth > 8:
+        return None
+    if f"{module}:{name}" in graph.classes:
+        return f"{module}:{name}"
+    context = imports.modules.get(module)
+    if context is not None and name in context.from_imports:
+        source_module, original = context.from_imports[name]
+        if source_module in imports.modules:
+            return class_in_project(graph, imports, original, source_module, depth + 1)
+    return None
+
+
 def resolve_callable_expr(
     graph: CallGraph,
     imports: ImportGraph,

@@ -45,9 +45,14 @@ def fingerprint_counts(findings: Sequence[Finding]) -> dict[str, int]:
 
 def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
     """Write *findings* as the new baseline at *path*."""
+    write_baseline_counts(path, fingerprint_counts(findings))
+
+
+def write_baseline_counts(path: str | Path, counts: dict[str, int]) -> None:
+    """Write pre-computed fingerprint *counts* as the baseline at *path*."""
     document = {
         "version": BASELINE_VERSION,
-        "findings": fingerprint_counts(findings),
+        "findings": dict(sorted(counts.items())),
     }
     Path(path).write_text(
         json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -78,6 +83,31 @@ def load_baseline(path: str | Path) -> dict[str, int]:
         if not isinstance(count, int) or count < 1:
             raise ValueError(f"malformed baseline {path}: bad count for {key!r}")
     return dict(counts)
+
+
+def prune(
+    baseline: dict[str, int], findings: Sequence[Finding]
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Drop baseline entries the current *findings* no longer justify.
+
+    Returns ``(pruned, dropped)``: *pruned* caps every baseline count at
+    the number of matching findings actually present (entries that no
+    longer occur at all disappear), and *dropped* records how many
+    occurrences of each fingerprint were removed.  This is the ratchet's
+    tightening move — ``repro-lint --prune-baseline`` — made safe by
+    construction: pruning can only shrink counts, never absorb new
+    findings.
+    """
+    current = fingerprint_counts(findings)
+    pruned: dict[str, int] = {}
+    dropped: dict[str, int] = {}
+    for key, count in sorted(baseline.items()):
+        keep = min(count, current.get(key, 0))
+        if keep:
+            pruned[key] = keep
+        if count > keep:
+            dropped[key] = count - keep
+    return pruned, dropped
 
 
 def partition(

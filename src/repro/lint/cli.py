@@ -5,6 +5,7 @@ Usage::
     repro-lint [paths ...] [--format text|json|sarif]
                [--select R1,R4] [--ignore R6]
                [--baseline lint-baseline.json] [--update-baseline]
+               [--prune-baseline]
     repro-lint --list-rules
     repro-lint --explain R7
     repro-lint effects MODULE:FUNC [--root src/repro]
@@ -25,7 +26,13 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.lint.baseline import load_baseline, partition, write_baseline
+from repro.lint.baseline import (
+    load_baseline,
+    partition,
+    prune,
+    write_baseline,
+    write_baseline_counts,
+)
 from repro.lint.registry import all_rules
 from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.runner import iter_python_files, lint_paths, load_module
@@ -46,7 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
             "seeded randomness, no wall clock, no salted hashes, protocol "
             "isolation, frozen records, deterministic iteration, and the "
             "whole-program effect rules (parallel purity, RNG-stream "
-            "discipline, cache-key purity, effect-signature drift)."
+            "discipline, cache-key purity, effect-signature drift, "
+            "vector-export contracts, worker-shared state, float "
+            "determinism)."
         ),
     )
     parser.add_argument(
@@ -93,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "drop baseline fingerprints the current findings no longer "
+            "justify, rewrite the baseline file, report what was removed, "
+            "and exit 0 — the ratchet's tightening move"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="describe every rule and exit",
@@ -126,8 +144,16 @@ def run(
     ignore: str | None = None,
     baseline: str | None = None,
     update_baseline: bool = False,
+    prune_baseline: bool = False,
 ) -> int:
     """Lint *paths* and print a report; returns the process exit code."""
+    if update_baseline and prune_baseline:
+        print(
+            "repro-lint: --update-baseline and --prune-baseline are "
+            "mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     targets = list(paths) or ["src/repro"]
     missing = [target for target in targets if not Path(target).exists()]
     if missing:
@@ -139,7 +165,26 @@ def run(
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
 
-    baseline_path = baseline or (DEFAULT_BASELINE if update_baseline else None)
+    baseline_path = baseline or (
+        DEFAULT_BASELINE if (update_baseline or prune_baseline) else None
+    )
+    if prune_baseline:
+        try:
+            known = load_baseline(baseline_path)
+        except (OSError, ValueError) as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        pruned, dropped = prune(known, findings)
+        write_baseline_counts(baseline_path, pruned)
+        removed = sum(dropped.values())
+        print(
+            f"repro-lint: pruned {removed} stale fingerprint occurrence"
+            f"{'s' if removed != 1 else ''} from {baseline_path} "
+            f"({len(pruned)} entr{'ies' if len(pruned) != 1 else 'y'} remain)"
+        )
+        for key in sorted(dropped):
+            print(f"  dropped ({dropped[key]}x): {key}")
+        return 0
     if update_baseline:
         write_baseline(baseline_path, findings)
         print(
@@ -246,6 +291,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         ignore=args.ignore,
         baseline=args.baseline,
         update_baseline=args.update_baseline,
+        prune_baseline=args.prune_baseline,
     )
 
 

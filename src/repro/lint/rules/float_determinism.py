@@ -1,0 +1,299 @@
+"""R13 — float-determinism: backend kernels must stay bit-stable.
+
+The vector backend's replay mode (``--backend vector-replay``) is
+Tier-A: bit-identical to the exact engine on every platform.  That
+guarantee survives only while the columnar kernels avoid the two
+classic sources of cross-platform float drift:
+
+- **Order-sensitive reductions.**  Float addition is not associative;
+  ``column.sum()``, ``np.dot``, ``np.einsum`` and friends choose a
+  reduction tree per platform (SIMD width, BLAS build, pairwise vs
+  serial), so the same column can sum to different bits on two
+  machines.  Integer columns are exact under any order — the rule
+  therefore only fires on values *provably* float-valued (drawn from a
+  generator's float methods, built with a float fill like ``np.inf``,
+  produced by true division, or ``astype``-cast to float).
+- **Narrowed dtypes.**  ``float32``/``float16`` round differently
+  through x87/SSE/NEON and BLAS paths; a narrowing ``astype``, a
+  ``dtype=np.float32`` argument, or a direct ``np.float32(...)`` call
+  anywhere in a kernel makes bit-identity platform-dependent, so these
+  are flagged unconditionally.
+
+The rule is per-file and scoped to the backend layer
+(``repro.sim.backends``) — analysis helpers and experiment code may
+legitimately average floats, but a kernel that feeds the Tier-A
+contract may not.
+
+Fix it by accumulating in integers (counts, slot indices, label ids —
+everything the paper's protocols actually measure), by reducing over
+an exact list (``math.fsum(column.tolist())`` is order-independent and
+correctly rounded), or by sorting operands deterministically before a
+float reduction you can justify.  Keep columnar state in ``float64``
+or integer dtypes; never narrow.  The runtime counterpart is
+``repro sanitize`` with the exact-vs-``vector-replay`` check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.analysis.callgraph import is_rng_receiver
+from repro.lint.astutil import dotted_name
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: ``Generator`` draw methods whose result is float-valued.
+FLOAT_DRAWS = frozenset(
+    {
+        "beta",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "gumbel",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "normal",
+        "random",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Order-sensitive reductions as array methods (``column.sum()``).
+METHOD_REDUCTIONS = frozenset(
+    {"cumprod", "cumsum", "dot", "mean", "prod", "std", "sum", "trace", "var"}
+)
+
+#: Order-sensitive reductions as numpy functions (``np.sum(column)``).
+NP_REDUCTIONS = frozenset(
+    {
+        "average",
+        "dot",
+        "einsum",
+        "inner",
+        "matmul",
+        "mean",
+        "nanmean",
+        "nanprod",
+        "nansum",
+        "prod",
+        "std",
+        "sum",
+        "trapz",
+        "var",
+        "vdot",
+    }
+)
+
+#: Narrowed float dtypes that break cross-platform bit-identity.
+NARROW_DTYPES = frozenset({"float16", "float32", "half", "single"})
+
+
+def _is_float_constant(node: ast.expr, np_aliases: set[str]) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_constant(node.operand, np_aliases)
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id in np_aliases and node.attr in ("inf", "nan", "e", "pi")
+    return False
+
+
+def _narrow_dtype_spelling(node: ast.expr, np_aliases: set[str]) -> str | None:
+    """How a narrowed-dtype expression is written, or ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in NARROW_DTYPES:
+            return f"'{node.value}'"
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in np_aliases and node.attr in NARROW_DTYPES:
+            return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    """Module body plus every function body, each as its own scope."""
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _scope_nodes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk one scope without descending into nested def/class scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _float_source(value: ast.expr, tainted: set[str], np_aliases: set[str]) -> bool:
+    """Whether *value* provably produces a float array/scalar."""
+    if isinstance(value, ast.Name):
+        return value.id in tainted
+    if isinstance(value, ast.BinOp):
+        if isinstance(value.op, ast.Div):
+            return True  # numpy true division always yields floats
+        return _float_source(value.left, tainted, np_aliases) or _float_source(
+            value.right, tainted, np_aliases
+        )
+    if isinstance(value, ast.UnaryOp):
+        return _float_source(value.operand, tainted, np_aliases)
+    if isinstance(value, ast.Subscript):
+        return _float_source(value.value, tainted, np_aliases)
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = dotted_name(value.func)
+    if dotted is None:
+        return False
+    head, _, method = dotted.rpartition(".")
+    if method in FLOAT_DRAWS and head and is_rng_receiver(head):
+        return True
+    if method == "astype" and value.args:
+        spelled = dotted_name(value.args[0])
+        if spelled is not None and spelled.rsplit(".", 1)[-1].startswith("float"):
+            return True
+        narrow = _narrow_dtype_spelling(value.args[0], np_aliases)
+        if narrow is not None:
+            return True
+    if head in np_aliases or dotted.split(".", 1)[0] in np_aliases:
+        if method in ("full", "ones", "zeros", "empty", "array", "asarray", "linspace"):
+            for argument in value.args:
+                if _is_float_constant(argument, np_aliases):
+                    return True
+            for keyword in value.keywords:
+                if keyword.arg == "dtype":
+                    spelled = dotted_name(keyword.value)
+                    if spelled is not None and (
+                        spelled.rsplit(".", 1)[-1].startswith("float")
+                        or spelled == "float"
+                    ):
+                        return True
+        if method == "linspace":
+            return True
+    return False
+
+
+def _tainted_names(body: list[ast.stmt], np_aliases: set[str]) -> set[str]:
+    """Names in this scope provably bound to float values (small fixpoint)."""
+    tainted: set[str] = set()
+    for _ in range(3):
+        grew = False
+        for node in _scope_nodes(body):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if _float_source(value, tainted, np_aliases):
+                    for target in targets:
+                        if isinstance(target, ast.Name) and target.id not in tainted:
+                            tainted.add(target.id)
+                            grew = True
+        if not grew:
+            break
+    return tainted
+
+
+@register
+class FloatDeterminismRule(Rule):
+    """Flag order-sensitive float math inside the backend layer."""
+
+    rule_id = "R13"
+    title = "float-determinism"
+    invariant = (
+        "backend kernels feeding the Tier-A replay contract perform no "
+        "order-sensitive float reductions and never narrow below "
+        "float64, so vector-replay stays bit-identical across platforms"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_backend_layer():
+            return
+        np_aliases = module.aliases_of("numpy")
+        for body in _scopes(module.tree):
+            tainted = _tainted_names(body, np_aliases)
+            for node in _scope_nodes(body):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_reduction(module, node, tainted, np_aliases)
+                yield from self._check_narrowing(module, node, np_aliases)
+
+    # ------------------------------------------------------------------
+
+    def _check_reduction(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        tainted: set[str],
+        np_aliases: set[str],
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        head, _, method = dotted.rpartition(".")
+        written = None
+        if method in METHOD_REDUCTIONS and head in tainted:
+            written = f"{head}.{method}()"
+        elif (
+            method in NP_REDUCTIONS
+            and head in np_aliases
+            and any(
+                _float_source(argument, tainted, np_aliases)
+                for argument in node.args
+            )
+        ):
+            written = f"{dotted}(...)"
+        elif method == "reduce" and head.rpartition(".")[0] in np_aliases:
+            if any(
+                _float_source(argument, tainted, np_aliases)
+                for argument in node.args
+            ):
+                written = f"{dotted}(...)"
+        if written is not None:
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"order-sensitive float reduction {written} in a backend "
+                "kernel: float addition is non-associative, so the result's "
+                "bits depend on SIMD width/BLAS build and break the Tier-A "
+                "replay contract — accumulate in integers, use "
+                "math.fsum(column.tolist()), or sort operands first",
+            )
+
+    def _check_narrowing(
+        self, module: ModuleContext, node: ast.Call, np_aliases: set[str]
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        spelled: str | None = None
+        if dotted is not None:
+            head, _, method = dotted.rpartition(".")
+            if method == "astype" and node.args:
+                spelled = _narrow_dtype_spelling(node.args[0], np_aliases)
+            elif head in np_aliases and method in NARROW_DTYPES:
+                spelled = dotted
+        if spelled is None:
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    spelled = _narrow_dtype_spelling(keyword.value, np_aliases)
+                    if spelled is not None:
+                        break
+        if spelled is not None:
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"narrowed float dtype {spelled} in a backend kernel: "
+                "float32/float16 round differently across x87/SSE/NEON and "
+                "BLAS paths, so vector-replay loses cross-platform "
+                "bit-identity — keep columnar state in float64 or integers",
+            )

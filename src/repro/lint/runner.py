@@ -4,13 +4,17 @@
 self-check calls it directly); the CLI in :mod:`repro.lint.cli` is a
 thin argument-parsing layer over it.
 
-Per-file rules (R1–R6) run module by module.  Whole-program rules
-(R7–R10) need every module parsed first: when at least one is selected,
+Per-file rules (R1–R6, R13) run module by module.  Whole-program rules
+(R7–R12) need every module parsed first: when at least one is selected,
 the runner builds a single :class:`~repro.lint.analysis.ProjectContext`
 over the parsed set and runs them once.  Parsed modules are cached
-process-wide keyed by ``(path, mtime_ns, size)`` — the per-file pass,
-the project pass, and repeated invocations (the test suite lints
-``src/repro`` many times) all reuse one parse per file revision.
+process-wide keyed by ``(path, content-hash)`` — the per-file pass, the
+project pass, and repeated invocations (the test suite lints
+``src/repro`` many times) all reuse one parse per file content.  The
+cache re-reads bytes (cheap) and only re-parses (expensive) when the
+hash changes, so a same-size rewrite inside the filesystem's mtime
+resolution — which a ``(mtime_ns, size)`` key would silently serve
+stale — still invalidates correctly.
 
 Files the linter cannot analyse do not crash the run: unreadable,
 non-UTF-8, and syntactically invalid files each surface as a single
@@ -19,6 +23,7 @@ non-UTF-8, and syntactically invalid files each surface as a single
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -29,11 +34,13 @@ from repro.lint.registry import ProjectRule, Rule, all_rules
 #: Directory names never descended into.
 SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
 
-#: Parsed-module cache: resolved path → (mtime_ns, size, parsed module
-#: or its E0 finding).  Keyed on file identity, not invocation, so the
+#: Parsed-module cache: path → (content blake2b digest, parsed module
+#: or its E0 finding).  Keyed on file *content*, not invocation, so the
 #: self-check suite's repeated lints of ``src/repro`` parse each file
-#: once.
-_CACHE: dict[str, tuple[int, int, ModuleContext | Finding]] = {}
+#: once — and so a same-size same-mtime rewrite (editors and test
+#: fixtures on coarse-mtime filesystems do this) never serves a stale
+#: parse, which a ``(mtime_ns, size)`` key silently would.
+_CACHE: dict[str, tuple[str, ModuleContext | Finding]] = {}
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
@@ -57,34 +64,34 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
 
 
 def load_module(path: str | Path) -> ModuleContext | Finding:
-    """Parse *path*, cached by ``(mtime_ns, size)``.
+    """Parse *path*, cached by content hash.
 
     Returns the parsed :class:`ModuleContext`, or the single ``E0``
     :class:`Finding` describing why the file cannot be analysed
-    (missing/unreadable, not UTF-8, or a syntax error).
+    (missing/unreadable, not UTF-8, or a syntax error).  The bytes are
+    read on every call; the parse is reused whenever their blake2b
+    digest matches the cached one.
     """
     target = Path(path)
     key = str(target)
     try:
-        stat = target.stat()
-        identity = (stat.st_mtime_ns, stat.st_size)
+        raw = target.read_bytes()
     except OSError as error:
         return _error_finding(key, f"unreadable file: {error.strerror or error}")
+    digest = hashlib.blake2b(raw, digest_size=16).hexdigest()
     cached = _CACHE.get(key)
-    if cached is not None and cached[:2] == identity:
-        return cached[2]
-    result = _parse(key, target)
-    _CACHE[key] = (*identity, result)
+    if cached is not None and cached[0] == digest:
+        return cached[1]
+    result = _parse(key, raw)
+    _CACHE[key] = (digest, result)
     return result
 
 
-def _parse(key: str, target: Path) -> ModuleContext | Finding:
+def _parse(key: str, raw: bytes) -> ModuleContext | Finding:
     try:
-        source = target.read_text(encoding="utf-8")
+        source = raw.decode("utf-8")
     except UnicodeDecodeError:
         return _error_finding(key, "not valid UTF-8; cannot analyse")
-    except OSError as error:
-        return _error_finding(key, f"unreadable file: {error.strerror or error}")
     try:
         return ModuleContext.parse(key, source)
     except (SyntaxError, ValueError) as error:

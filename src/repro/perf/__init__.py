@@ -32,6 +32,7 @@ lint rule R4 enforces the boundary.
 from repro.perf.executor import (
     default_jobs,
     pmap_trials,
+    pool_fingerprint,
     resolve_jobs,
     set_default_jobs,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "merge_telemetry",
     "merged_metrics",
     "pmap_trials",
+    "pool_fingerprint",
     "resolve_jobs",
     "set_default_jobs",
     "worker_telemetry_path",

@@ -63,6 +63,30 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def pool_fingerprint() -> dict[str, Any]:
+    """Ambient facts about this process's fan-out environment.
+
+    Recorded by the determinism sanitizer (``repro sanitize``) alongside
+    each capture, so a divergence report names the conditions it was
+    produced under: pool start method, core count, the process-wide
+    jobs default, the interpreter version, and the hash seed.  None of
+    these may influence results — that is exactly what the sanitizer
+    checks — so they appear only in the report's provenance, never in
+    the bit-diffed records.
+    """
+    import multiprocessing
+    import sys
+
+    return {
+        "start_method": multiprocessing.get_start_method(allow_none=True)
+        or "default",
+        "cpu_count": os.cpu_count() or 1,
+        "default_jobs": _DEFAULT_JOBS,
+        "python": sys.version.split()[0],
+        "hashseed": os.environ.get("PYTHONHASHSEED", "random"),
+    }
+
+
 def _picklable(payload: Any) -> bool:
     """Whether *payload* survives pickling (the pool's transport)."""
     try:

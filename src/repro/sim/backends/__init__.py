@@ -24,11 +24,15 @@ from repro.sim.backends.base import (
     BackendUnavailableError,
     EngineBackend,
     StopCondition,
+    VECTOR_CONTRACTS,
+    VectorContract,
+    VectorField,
     backend_scope,
     default_backend_name,
     numpy_available,
     resolve_backend,
     set_default_backend,
+    vector_contract,
 )
 from repro.sim.backends.exact import ExactBackend
 from repro.sim.backends.vector import VectorBackend, VectorEngine
@@ -66,8 +70,11 @@ __all__ = [
     "EngineBackend",
     "ExactBackend",
     "StopCondition",
+    "VECTOR_CONTRACTS",
     "VectorBackend",
+    "VectorContract",
     "VectorEngine",
+    "VectorField",
     "available_backends",
     "backend_scope",
     "default_backend_name",
@@ -75,4 +82,5 @@ __all__ = [
     "numpy_available",
     "resolve_backend",
     "set_default_backend",
+    "vector_contract",
 ]

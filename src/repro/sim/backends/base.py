@@ -32,7 +32,16 @@ from __future__ import annotations
 import abc
 import importlib.util
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Any, Callable, ClassVar, Iterator, Sequence
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ClassVar,
+    Iterator,
+    Mapping,
+    Sequence,
+)
 
 from repro.types import SimulationError
 
@@ -108,6 +117,74 @@ class AllInformed:
 
     def __call__(self, engine: Any) -> bool:
         return all(protocol.informed for protocol in self.protocols)
+
+
+@dataclass(frozen=True)
+class VectorField:
+    """One field of a columnar program's declared state contract.
+
+    ``dtype`` names the column representation the kernel materializes
+    (``"bool"``, ``"int64"``, or ``"object"`` for values that stay
+    Python-side, like a live RNG handle); ``nullable`` marks fields
+    whose per-node value may be ``None`` (unset parent, not-yet-informed
+    slot).  Declared dtypes are deliberately wide — ``int64`` and
+    ``bool`` are exact under any reduction order, which is what keeps
+    replay mode bit-identical (lint rule R13 guards the float side).
+    """
+
+    name: str
+    dtype: str
+    nullable: bool = False
+
+
+@dataclass(frozen=True)
+class VectorContract:
+    """The declared export/import field set for one ``vector_kind``.
+
+    A protocol advertising *kind* must export at least these fields
+    from ``vector_export()``; the kernel validates the first export
+    against the contract and falls back to the exact engine (never
+    crashes, never silently drops state) when fields are missing.
+    Lint rule R11 checks the same property statically, and
+    ``repro sanitize`` checks it dynamically — three layers, one
+    contract.
+    """
+
+    kind: str
+    fields: tuple[VectorField, ...]
+
+    def field_names(self) -> frozenset[str]:
+        return frozenset(field.name for field in self.fields)
+
+    def missing_fields(self, export: Mapping[str, Any]) -> list[str]:
+        """Contract fields absent from one protocol's export dict."""
+        return sorted(self.field_names() - set(export))
+
+
+#: Declared contracts, keyed by ``vector_kind``.  The epidemic
+#: broadcast contract mirrors ``CogCast``'s exported state exactly:
+#: integer/bool columns for everything the kernel advances, object
+#: fields for the message payload and the live replay RNG handle.
+VECTOR_CONTRACTS: dict[str, VectorContract] = {
+    "epidemic-broadcast": VectorContract(
+        kind="epidemic-broadcast",
+        fields=(
+            VectorField("informed", "bool"),
+            VectorField("message", "object", nullable=True),
+            VectorField("parent", "int64", nullable=True),
+            VectorField("informed_slot", "int64", nullable=True),
+            VectorField("informed_label", "int64", nullable=True),
+            VectorField("current_label", "int64"),
+            VectorField("keep_log", "bool"),
+            VectorField("rng", "object"),
+        ),
+    ),
+}
+
+
+def vector_contract(kind: str) -> VectorContract | None:
+    """The declared contract for *kind*, or ``None`` if undeclared."""
+    return VECTOR_CONTRACTS.get(kind)
 
 
 #: Per-process default backend name used when ``backend=None``.

@@ -57,6 +57,7 @@ from repro.sim.backends.base import (
     BackendUnavailableError,
     EngineBackend,
     numpy_available,
+    vector_contract,
 )
 from repro.sim.channels import DynamicSchedule, Network, StaticSchedule
 from repro.sim.collision import CollisionModel, SingleWinnerCollision
@@ -292,6 +293,26 @@ class VectorEngine:
         c = network.channels_per_node
         protocols = self.protocols
         exports = [protocol.vector_export() for protocol in protocols]
+        contract = vector_contract("epidemic-broadcast")
+        if contract is not None:
+            for export in exports:
+                missing = contract.missing_fields(export)
+                if missing:
+                    # A declared-contract violation (a protocol whose
+                    # export omits fields the kernel materializes) is
+                    # not an error: fall back before any state mutates,
+                    # exactly like the other ineligibility paths, and
+                    # name the missing fields so the gap is visible.
+                    self.vector_engaged = False
+                    self.vector_fallback_reason = (
+                        "vector export missing contract fields: "
+                        + ", ".join(missing)
+                    )
+                    engine = self._exact_engine()
+                    result = engine.run(max_slots, stop_when=stop_when)
+                    self.fast_path_engaged = engine.fast_path_engaged
+                    self.slot = engine.slot
+                    return result.slots, result.completed
         if any(export.get("keep_log") for export in exports):
             # Logs are per-slot Python records; populations that keep
             # them (COGCOMP phase one) take the exact engine.  Checked

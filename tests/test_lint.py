@@ -980,8 +980,337 @@ class TestR10EffectDrift:
         assert "Engine.run" in finding.message
 
 
+class TestR11VectorContract:
+    HIDDEN_STATE = """
+        class Caster:
+            vector_kind = "epidemic-broadcast"
+
+            def __init__(self):
+                self.informed = False
+                self.heard = 0
+
+            def end_slot(self, slot, outcome):
+                if outcome is not None:
+                    self._absorb()
+
+            def _absorb(self):
+                self.informed = True
+                self.heard += 1
+
+            def vector_export(self):
+                return {"informed": self.informed}
+
+            def vector_import(self, state):
+                self.informed = state["informed"]
+        """
+
+    def test_hidden_mutated_attribute_flagged_with_witness(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.HIDDEN_STATE, select=["R11"])
+        assert rules_hit(findings) == {"R11"}
+        (finding,) = findings
+        assert "self.heard" in finding.message
+        assert "via end_slot() -> _absorb()" in finding.message
+        assert "vector_export" in finding.message
+
+    def test_exported_attribute_is_clean(self, tmp_path):
+        clean = self.HIDDEN_STATE.replace(
+            'return {"informed": self.informed}',
+            'return {"informed": self.informed, "heard": self.heard}',
+        )
+        assert not lint_snippet(tmp_path, clean, select=["R11"])
+
+    def test_mutation_guarded_by_exported_flag_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Caster:
+                vector_kind = "epidemic-broadcast"
+
+                def __init__(self, keep_log=False):
+                    self.keep_log = keep_log
+                    self.log = []
+
+                def end_slot(self, slot, outcome):
+                    if self.keep_log:
+                        self.log.append(slot)
+
+                def vector_export(self):
+                    return {"keep_log": self.keep_log}
+
+                def vector_import(self, state):
+                    self.keep_log = state["keep_log"]
+            """,
+            select=["R11"],
+        )
+        assert not findings
+
+    def test_import_reading_unexported_key_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Caster:
+                vector_kind = "epidemic-broadcast"
+
+                def vector_export(self):
+                    return {"informed": self.informed}
+
+                def vector_import(self, state):
+                    self.informed = state["informed"]
+                    self.parent = state["parent"]
+            """,
+            select=["R11"],
+        )
+        assert rules_hit(findings) == {"R11"}
+        (finding,) = findings
+        assert "state['parent']" in finding.message
+
+    def test_missing_export_import_pair_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Caster:
+                vector_kind = "epidemic-broadcast"
+
+                def begin_slot(self, slot):
+                    return None
+            """,
+            select=["R11"],
+        )
+        messages = [finding.message for finding in findings]
+        assert len(messages) == 2
+        assert any("vector_export" in message for message in messages)
+        assert any("vector_import" in message for message in messages)
+
+    def test_unresolvable_base_stands_down_on_missing_methods(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from somewhere.else_ import ColumnarBase
+
+            class Caster(ColumnarBase):
+                vector_kind = "epidemic-broadcast"
+            """,
+            select=["R11"],
+        )
+        assert not findings
+
+    def test_non_columnar_class_ignored(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Plain:
+                def end_slot(self, slot, outcome):
+                    self.heard = slot
+            """,
+            select=["R11"],
+        )
+        assert not findings
+
+
+class TestR12WorkerSharedState:
+    def test_module_list_captured_via_partial_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from functools import partial
+
+            from repro.perf import pmap_trials
+
+            RESULTS = []
+
+            def trial(sink, seed):
+                sink.append(seed)
+                return seed
+
+            def sweep(seeds):
+                return pmap_trials(partial(trial, RESULTS), [(s,) for s in seeds])
+            """,
+            select=["R12"],
+        )
+        assert rules_hit(findings) == {"R12"}
+        (finding,) = findings
+        assert "'RESULTS'" in finding.message
+        assert "module-level list" in finding.message
+        assert "pmap_trials()" in finding.message
+
+    def test_live_registry_captured_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from functools import partial
+
+            from repro.experiments.harness import map_trials
+            from repro.obs.metrics import MetricsRegistry
+
+            REGISTRY = MetricsRegistry()
+
+            def trial(registry, seed):
+                return seed
+
+            def sweep(seeds):
+                return map_trials(partial(trial, REGISTRY), seeds)
+            """,
+            select=["R12"],
+        )
+        assert rules_hit(findings) == {"R12"}
+        (finding,) = findings
+        assert "live MetricsRegistry instance" in finding.message
+
+    def test_plain_seed_data_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from functools import partial
+
+            from repro.perf import pmap_trials
+
+            SIZE = 64
+
+            def trial(size, seed):
+                return size * seed
+
+            def sweep(seeds):
+                return pmap_trials(partial(trial, SIZE), [(s,) for s in seeds])
+            """,
+            select=["R12"],
+        )
+        assert not findings
+
+    def test_local_list_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from functools import partial
+
+            from repro.perf import pmap_trials
+
+            def trial(sink, seed):
+                return seed
+
+            def sweep(seeds):
+                sink = []
+                return pmap_trials(partial(trial, sink), [(s,) for s in seeds])
+            """,
+            select=["R12"],
+        )
+        assert not findings
+
+
+class TestR13FloatDeterminism:
+    BACKEND = "repro/sim/backends/snippet.py"
+
+    def test_float_reduction_in_backend_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def kernel(rng, n):
+                keys = rng.random(n)
+                return keys.sum()
+            """,
+            name=self.BACKEND,
+            select=["R13"],
+        )
+        assert rules_hit(findings) == {"R13"}
+        (finding,) = findings
+        assert "keys.sum()" in finding.message
+        assert "non-associative" in finding.message
+
+    def test_narrowing_astype_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def kernel(column):
+                return column.astype(np.float32)
+            """,
+            name=self.BACKEND,
+            select=["R13"],
+        )
+        assert rules_hit(findings) == {"R13"}
+        (finding,) = findings
+        assert "np.float32" in finding.message
+
+    def test_narrow_dtype_kwarg_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def kernel(n):
+                return np.zeros(n, dtype="float32")
+            """,
+            name=self.BACKEND,
+            select=["R13"],
+        )
+        assert rules_hit(findings) == {"R13"}
+
+    def test_integer_reduction_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def kernel(rng, n):
+                listeners = np.zeros(n, dtype=bool)
+                counts = rng.integers(0, 8, n)
+                return listeners.sum() + counts.sum()
+            """,
+            name=self.BACKEND,
+            select=["R13"],
+        )
+        assert not findings
+
+    def test_same_code_outside_backend_layer_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def average(rng, n):
+                keys = rng.random(n)
+                return keys.mean()
+            """,
+            name="repro/analysis/snippet.py",
+            select=["R13"],
+        )
+        assert not findings
+
+
+class TestRuleDocsConsistency:
+    """Satellite 1: every rule id ships explain text, a SARIF catalog
+    entry, and a docs/lint.md anchor — no rule lands undocumented."""
+
+    def test_every_rule_has_explain_text(self):
+        for rule_id, rule in all_rules().items():
+            text = rule.explain()
+            assert len(text.splitlines()) >= 3, f"{rule_id} explain() is trivial"
+            assert rule_id in text.splitlines()[0], (
+                f"{rule_id} explain() must open with its id"
+            )
+
+    def test_every_rule_in_sarif_catalog(self):
+        from repro.lint.reporters import sarif_document
+
+        catalog = sarif_document([])["runs"][0]["tool"]["driver"]["rules"]
+        by_id = {entry["id"]: entry for entry in catalog}
+        for rule_id, rule in all_rules().items():
+            assert rule_id in by_id, f"{rule_id} missing from SARIF catalog"
+            entry = by_id[rule_id]
+            assert entry["name"] == rule.title
+            assert entry["shortDescription"]["text"] == rule.invariant
+
+    def test_every_rule_has_docs_anchor(self):
+        docs = (ROOT / "docs" / "lint.md").read_text(encoding="utf-8")
+        for rule_id, rule in all_rules().items():
+            anchor = f"### {rule_id} — {rule.title}"
+            assert anchor in docs, f"docs/lint.md lacks anchor {anchor!r}"
+
+
 class TestRunnerAndCli:
-    def test_registry_has_ten_rules(self):
+    def test_registry_has_thirteen_rules(self):
         assert list(all_rules()) == [
             "R1",
             "R2",
@@ -993,6 +1322,9 @@ class TestRunnerAndCli:
             "R8",
             "R9",
             "R10",
+            "R11",
+            "R12",
+            "R13",
         ]
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
@@ -1083,6 +1415,24 @@ class TestRunnerRobustness:
 
         assert str(path) in _CACHE
 
+    def test_cache_detects_same_size_same_mtime_rewrite(self, tmp_path):
+        """Satellite 2: the cache keys on content, not (mtime, size).
+
+        Two writes of equal length inside the filesystem's mtime
+        resolution used to collide in the stat-keyed cache and serve
+        the stale parse; the content-hash key must not."""
+        path = tmp_path / "twin.py"
+        dirty = "import time\nstamp = time.time()\n"
+        clean = "x = 1  " + "#" * (len(dirty) - 8) + "\n"
+        assert len(clean) == len(dirty)
+        path.write_text(clean, encoding="utf-8")
+        os.utime(path, ns=(1_000_000_000, 1_000_000_000))
+        assert not lint_paths([str(path)])
+        path.write_text(dirty, encoding="utf-8")
+        os.utime(path, ns=(1_000_000_000, 1_000_000_000))  # identical stat
+        findings = lint_paths([str(path)])
+        assert "R2" in rules_hit(findings)
+
     def test_ignore_drops_rule(self, tmp_path):
         path = tmp_path / "dirty.py"
         path.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
@@ -1145,6 +1495,61 @@ class TestBaselineWorkflow:
         from repro.lint.baseline import load_baseline
 
         assert load_baseline(ROOT / "lint-baseline.json") == {}
+
+    def test_prune_baseline_drops_stale_fingerprints(self, tmp_path, capsys):
+        """Satellite 3: fixing a finding then pruning shrinks the
+        baseline instead of letting the dead fingerprint mask a
+        future regression at the same site."""
+        from repro.lint.baseline import load_baseline
+
+        source = tmp_path / "dirty.py"
+        source.write_text(self.DIRTY + "salt = hash('x')\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(source), "--baseline", str(baseline), "--update-baseline"])
+        assert len(load_baseline(baseline)) == 2
+        source.write_text(self.DIRTY, encoding="utf-8")  # R3 finding fixed
+        capsys.readouterr()
+        assert (
+            lint_main(
+                [str(source), "--baseline", str(baseline), "--prune-baseline"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert "dropped" in out and "R3" in out
+        remaining = load_baseline(baseline)
+        assert len(remaining) == 1
+        assert all("R3" not in key for key in remaining)
+        # The pruned baseline still gates the surviving finding.
+        assert lint_main([str(source), "--baseline", str(baseline)]) == 0
+
+    def test_prune_caps_counts_at_current_occurrences(self):
+        from repro.lint.baseline import fingerprint_counts, prune
+
+        finding = Finding(path="a.py", line=3, col=0, rule="R2", message="m")
+        key = next(iter(fingerprint_counts([finding])))
+        gone = key.replace("R2", "R3")
+        pruned, dropped = prune({key: 3, gone: 1}, [finding])
+        assert pruned == {key: 1}
+        assert dropped == {key: 2, gone: 1}
+
+    def test_prune_and_update_are_mutually_exclusive(self, tmp_path, capsys):
+        source = tmp_path / "clean.py"
+        source.write_text("x = 1\n", encoding="utf-8")
+        assert (
+            lint_main(
+                [
+                    str(source),
+                    "--baseline",
+                    str(tmp_path / "baseline.json"),
+                    "--update-baseline",
+                    "--prune-baseline",
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
 
 
 class TestExplainAndEffects:

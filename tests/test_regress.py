@@ -206,6 +206,34 @@ class TestBenchGating:
         report = check_regressions(history, candidate)
         assert report.comparable == 3
 
+    def test_warn_only_names_the_datapoint_shortfall(self, tmp_path):
+        history = load_bench_history(history_files(tmp_path, count=2))
+        candidate = load_bench_datapoint(
+            write_bench(tmp_path / "cand.json", {"test_engine": 0.30})
+        )
+        report = check_regressions(history, candidate)
+        assert report.warn_only
+        assert any(
+            "only 2 comparable datapoints" in warning
+            and "need 3 to gate" in warning
+            for warning in report.warnings
+        )
+        assert ", warn-only)" in report.render()
+
+    def test_gating_engages_at_exactly_min_history(self, tmp_path):
+        """The ratchet boundary: 2 comparable datapoints warn, a third
+        flips the same regressing candidate to a hard exit 1."""
+        candidate_path = write_bench(tmp_path / "cand.json", {"test_engine": 0.30})
+        candidate = load_bench_datapoint(candidate_path)
+        thin = load_bench_history(history_files(tmp_path, count=2))
+        thin_report = check_regressions(thin, candidate)
+        assert thin_report.exit_code == 0
+        assert any(v.verdict == "regression" for v in thin_report.verdicts)
+        full = load_bench_history(history_files(tmp_path, count=3))
+        full_report = check_regressions(full, candidate)
+        assert not full_report.warn_only
+        assert full_report.exit_code == 1
+
 
 class TestBenchCheckCli:
     def test_bench_check_detects_slowdown(self, tmp_path, capsys):
@@ -228,6 +256,15 @@ class TestBenchCheckCli:
         code = bench_check(None, [REAL_BENCH])
         assert code == 0
         assert "warn-only" in capsys.readouterr().out
+
+    def test_committed_two_point_trajectory_is_warn_only(self, capsys):
+        """The repo ships two BENCH_*.json datapoints: the default gate
+        must load both, stay warn-only (needs 3), and say why."""
+        code = bench_check(None, ["BENCH_*.json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warn-only" in out
+        assert "comparable datapoints" in out
 
     def test_bench_check_via_repro_main(self, tmp_path, capsys):
         from repro.cli import main as repro_main
