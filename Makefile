@@ -7,7 +7,7 @@
 PYTHON ?= python
 JOBS ?= 1
 
-.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check sanitize experiments report examples obs-demo trace-demo metrics-demo vector-demo all
+.PHONY: install test lint lint-all lint-baseline bench bench-save bench-check sanitize experiments report examples obs-demo trace-demo metrics-demo vector-demo store-demo all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -85,6 +85,17 @@ vector-demo:
 	PYTHONPATH=src $(PYTHON) -m repro --version
 	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --backend vector
 	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 --backend exact
+
+# The run store end to end: emit telemetry, ingest it twice (the
+# second pass dedups every run — first-write-wins by (config hash,
+# seed, code version)), then run a group-by query over the manifest.
+store-demo:
+	PYTHONPATH=src $(PYTHON) -m repro run E01 --fast --trials 2 \
+		--telemetry store_demo.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs ingest store_demo.jsonl --store runstore
+	PYTHONPATH=src $(PYTHON) -m repro obs ingest store_demo.jsonl --store runstore
+	PYTHONPATH=src $(PYTHON) -m repro obs query runstore --kind experiment \
+		--group-by experiment --stat rows
 
 # Export Chrome-trace/Perfetto timelines for both protocols (load the
 # JSON at ui.perfetto.dev or chrome://tracing).

@@ -73,8 +73,14 @@ def _emit_run(
     resources: "ResourceSampler | None" = None,
     elapsed_s: float | None = None,
     fast_path: bool | None = None,
+    backend: str | None = None,
+    vector_fallback_reason: str | None = None,
 ) -> None:
-    """Emit one run manifest when a telemetry sink is attached."""
+    """Emit one run manifest when a telemetry sink is attached.
+
+    *backend* / *vector_fallback_reason* record the execution path, as
+    in :func:`repro.core.runners._emit_run`.
+    """
     if telemetry is not None:
         telemetry.emit(
             run_record(
@@ -89,6 +95,8 @@ def _emit_run(
                 resources=None if resources is None else resources.delta(),
                 elapsed_s=elapsed_s,
                 fast_path=fast_path,
+                backend=backend,
+                vector_fallback_reason=vector_fallback_reason,
             )
         )
 
@@ -153,6 +161,8 @@ def run_rendezvous_broadcast(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     return _broadcast_result(result, protocols)
 
@@ -208,6 +218,8 @@ def run_stay_and_scan_broadcast(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     return _broadcast_result(result, protocols)
 
@@ -267,6 +279,8 @@ def run_rendezvous_aggregation(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     return BaselineAggregationResult(
         slots=result.slots,
@@ -335,5 +349,7 @@ def run_hopping_together(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     return _broadcast_result(result, protocols)

@@ -34,7 +34,7 @@ from repro.obs.probe import MultiProbe
 from repro.obs.telemetry import run_record
 from repro.obs.watchdog import flush_anomalies
 from repro.sim.adversary import Jammer
-from repro.sim.backends import AllInformed
+from repro.sim.backends import AllInformed, resolve_backend
 from repro.sim.channels import Network
 from repro.sim.collision import CollisionModel
 from repro.sim.engine import Engine, build_engine
@@ -94,8 +94,16 @@ def _emit_run(
     resources: "ResourceSampler | None" = None,
     elapsed_s: float | None = None,
     fast_path: bool | None = None,
+    backend: str | None = None,
+    vector_fallback_reason: str | None = None,
 ) -> None:
-    """Emit one run manifest (plus any anomalies) when a sink is attached."""
+    """Emit one run manifest (plus any anomalies) when a sink is attached.
+
+    *backend* is the resolved backend name and *vector_fallback_reason*
+    the engine's reason for declining the columnar kernel (``None`` for
+    the exact engine, which has no such attribute) — together with
+    ``fast_path`` they record the execution path queries filter by.
+    """
     if telemetry is not None:
         telemetry.emit(
             run_record(
@@ -111,6 +119,8 @@ def _emit_run(
                 resources=None if resources is None else resources.delta(),
                 elapsed_s=elapsed_s,
                 fast_path=fast_path,
+                backend=backend,
+                vector_fallback_reason=vector_fallback_reason,
             )
         )
         if watchdogs:
@@ -192,6 +202,8 @@ def run_local_broadcast(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     if require_completion and not result.completed:
         raise SimulationError(
@@ -323,6 +335,8 @@ def run_data_aggregation(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     if require_completion and (not result.completed or failures):
         raise SimulationError(
@@ -410,6 +424,8 @@ def run_gossip(
         resources=resources,
         elapsed_s=elapsed_s,
         fast_path=engine.fast_path_engaged,
+        backend=resolve_backend(backend).name,
+        vector_fallback_reason=getattr(engine, "vector_fallback_reason", None),
     )
     return GossipResult(
         slots=result.slots,

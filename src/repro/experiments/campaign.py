@@ -136,7 +136,9 @@ class Campaign:
         after), and :func:`repro.perf.pmap_trials` snapshots it into
         pool workers, so measure functions pick it up without a
         parameter of their own.  ``None`` leaves the current default in
-        place.
+        place.  The resolved backend name is recorded in each point's
+        provenance block, so points measured under different backends
+        hash to different store keys.
         """
         if trials < 1:
             raise ValueError("trials must be positive")
@@ -146,8 +148,9 @@ class Campaign:
 
         from repro.perf import pmap_trials
 
-        from repro.sim.backends import backend_scope
+        from repro.sim.backends import backend_scope, default_backend_name
 
+        backend_name = backend if backend is not None else default_backend_name()
         tasks = [
             (dict(point), derive_seed(seed, "campaign", self.name, index, trial))
             for index, point in enumerate(grid)
@@ -199,6 +202,7 @@ class Campaign:
                         mean=summary.mean,
                         elapsed_s=elapsed,
                         metrics=metrics,
+                        backend=backend_name,
                     )
                 )
             results.append(

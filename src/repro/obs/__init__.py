@@ -50,6 +50,16 @@ constant-memory alternative:
   match; timing-class series are reported with bootstrap CIs), and
   ``repro bench check`` gates the BENCH_*.json trajectory with
   machine-fingerprinted, CI-backed per-benchmark baselines.
+- **Run store & queries** (:mod:`repro.obs.provenance`,
+  :mod:`repro.obs.store`, :mod:`repro.obs.query`) — every record is
+  stamped with a provenance block (canonical config hash + code
+  version), ``repro obs ingest`` indexes shards into an append-only
+  content-addressed :class:`RunStore` keyed by ``(config hash, seed,
+  code version)``, ``repro obs query`` filters/groups/aggregates the
+  manifest (:func:`run_query`), ``repro obs follow`` live-tails a
+  growing file (:func:`follow_file`), and ``repro obs explain`` joins
+  a watchdog anomaly back to its run's span tree and metrics snapshot
+  (:func:`explain_records`).
 
 Everything here is analysis-side: protocols never see probes, sinks,
 or profilers (lint rule R4 forbids protocol modules from importing
@@ -79,6 +89,28 @@ from repro.obs.export import (
 from repro.obs.probe import MultiProbe, ProtocolProbe, SlotProbe, attach
 from repro.obs.probes import ActivityProbe, CountersProbe, HistogramProbe
 from repro.obs.profiler import Profiler, SectionStat
+from repro.obs.provenance import (
+    CODE_VERSION,
+    canonical_json,
+    config_hash,
+    detect_code_version,
+    provenance_block,
+    validate_provenance,
+)
+from repro.obs.query import (
+    Filter,
+    explain_records,
+    follow_file,
+    parse_filters,
+    render_rows,
+    run_query,
+)
+from repro.obs.store import (
+    STORE_SCHEMA_VERSION,
+    IngestReport,
+    RunStore,
+    manifest_entry,
+)
 from repro.obs.spans import InformEdge, Span, SpanProbe, SpanTree, payload_kind
 from repro.obs.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
@@ -105,15 +137,18 @@ from repro.obs.watchdog import (
 __all__ = [
     "ActivityProbe",
     "Anomaly",
+    "CODE_VERSION",
     "ClusterSizeAgreementWatchdog",
     "Counter",
     "CountersProbe",
+    "Filter",
     "FixedHistogram",
     "Gauge",
     "Histogram",
     "HistogramProbe",
     "InformEdge",
     "InformedSetWatchdog",
+    "IngestReport",
     "METRICS_SCHEMA_VERSION",
     "MediatorUniquenessWatchdog",
     "MetricsError",
@@ -123,6 +158,8 @@ __all__ = [
     "Profiler",
     "ProtocolProbe",
     "ResourceSampler",
+    "RunStore",
+    "STORE_SCHEMA_VERSION",
     "SectionStat",
     "SlotBudgetWatchdog",
     "SlotProbe",
@@ -137,17 +174,28 @@ __all__ = [
     "anomaly_record",
     "attach",
     "campaign_record",
+    "canonical_json",
     "chrome_trace",
+    "config_hash",
+    "detect_code_version",
     "experiment_record",
+    "explain_records",
     "flush_anomalies",
+    "follow_file",
+    "manifest_entry",
     "merge_snapshots",
+    "parse_filters",
     "payload_kind",
+    "provenance_block",
     "read_telemetry",
     "render_prometheus",
+    "render_rows",
+    "run_query",
     "run_record",
     "span_summary",
     "summarize_records",
     "validate_chrome_trace",
+    "validate_provenance",
     "validate_record",
     "validate_snapshot",
     "write_chrome_trace",

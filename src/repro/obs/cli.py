@@ -6,10 +6,16 @@ Usage (also installed as the standalone ``repro-obs`` console script)::
     repro-obs summary 'shard*.jsonl' [...]     # grouped digest (globs ok)
     repro-obs summary telemetry.jsonl --metrics  # + embedded metric snapshots
     repro-obs tail telemetry.jsonl -n 5        # last records, pretty-printed
+    repro-obs tail telemetry.jsonl --kind run  # only one record kind
     repro-obs anomalies telemetry.jsonl [...]  # watchdog anomalies; exit 1 if any
     repro-obs diff A.jsonl B.jsonl             # per-metric delta report
     repro-obs export-trace --protocol cogcomp --n 12 --c 6 --k 2 \\
         --seed 0 -o trace.json [--spans spans.json]
+    repro-obs ingest shard*.jsonl --store runstore   # content-addressed index
+    repro-obs query runstore protocol=cogcast n>=8 \\
+        --group-by protocol --stat slots [--json]
+    repro-obs follow telemetry.jsonl --idle-exit 5   # live-tail + validate
+    repro-obs explain telemetry.jsonl [--rule slot-budget]  # anomaly root cause
 
 File arguments are shell-glob expanded here too (quote them to defer
 to this expansion), so campaign shards like ``telemetry.worker*.jsonl``
@@ -69,6 +75,12 @@ def add_subcommands(sub: Any) -> None:
                 action="store_true",
                 help="also render embedded metric snapshots",
             )
+            command.add_argument(
+                "--kind",
+                choices=("run", "experiment", "campaign", "anomaly"),
+                default=None,
+                help="only records of this kind",
+            )
     diff = sub.add_parser(
         "diff",
         help="per-metric delta report between two telemetry files; "
@@ -110,6 +122,96 @@ def add_subcommands(sub: Any) -> None:
         default=None,
         metavar="FILE",
         help="also write the compact span-summary JSON to FILE",
+    )
+    ingest = sub.add_parser(
+        "ingest",
+        help="index telemetry shards into a content-addressed run store",
+    )
+    ingest.add_argument(
+        "files", nargs="+", help="telemetry JSONL shards (globs expanded)"
+    )
+    ingest.add_argument(
+        "--store",
+        default="runstore",
+        metavar="DIR",
+        help="run-store directory (default: runstore)",
+    )
+    ingest.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on a malformed shard line instead of skipping it",
+    )
+    query = sub.add_parser(
+        "query",
+        help="filter, group, and aggregate a run store's manifest",
+    )
+    query.add_argument("store", help="run-store directory")
+    query.add_argument(
+        "filters",
+        nargs="*",
+        help="field filters like protocol=cogcast n>=1000 backend=vector",
+    )
+    query.add_argument(
+        "--kind",
+        choices=("run", "experiment", "campaign"),
+        default=None,
+        help="only stored runs of this kind",
+    )
+    query.add_argument(
+        "--group-by",
+        default=None,
+        metavar="FIELDS",
+        help="comma-separated group-by fields (e.g. protocol,n)",
+    )
+    query.add_argument(
+        "--stat",
+        default="slots",
+        metavar="FIELD",
+        help="numeric field (or metric:<name>) to aggregate (default: slots)",
+    )
+    query.add_argument(
+        "--json", action="store_true", help="print rows as JSON instead of a table"
+    )
+    follow = sub.add_parser(
+        "follow",
+        help="live-tail a growing telemetry file, validating incrementally",
+    )
+    follow.add_argument("file", help="telemetry JSONL file to follow")
+    follow.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="poll interval in seconds (default: 0.2)",
+    )
+    follow.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop after S seconds with no new bytes (default: follow forever)",
+    )
+    follow.add_argument(
+        "--max-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N records",
+    )
+    explain = sub.add_parser(
+        "explain",
+        help="join watchdog anomalies to their run's span tree and metrics",
+    )
+    explain.add_argument("file", help="telemetry JSONL file holding the anomaly")
+    explain.add_argument(
+        "--rule", default=None, help="only anomalies of this watchdog rule"
+    )
+    explain.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explain only the N-th matching anomaly (0-based)",
     )
 
 
@@ -205,17 +307,39 @@ def validate_files(files: Sequence[str]) -> int:
     return 0
 
 
-def summarize_files(files: Sequence[str], *, metrics: bool = False) -> int:
+def _filter_kind(
+    records: list[dict[str, Any]], kind: str | None, files: Sequence[str]
+) -> list[dict[str, Any]] | None:
+    """Keep records of *kind*; print the no-match line and return ``None``
+    when the filter leaves nothing (the satellite's one-liner instead of
+    an empty table)."""
+    if kind is None:
+        return records
+    matching = [record for record in records if record.get("kind") == kind]
+    if not matching:
+        print(f"no matching records of kind {kind!r} in " + ", ".join(files))
+        return None
+    return matching
+
+
+def summarize_files(
+    files: Sequence[str], *, metrics: bool = False, kind: str | None = None
+) -> int:
     """Print a digest of all records across *files*; 0 iff any exist.
 
     With ``metrics=True`` the digest is followed by the merged embedded
-    metric snapshots in Prometheus text format.
+    metric snapshots in Prometheus text format.  With *kind* set, only
+    records of that kind are digested — zero matches prints a one-line
+    "no matching records" message and exits 1.
     """
     records = _read_all(files)
     if records is None:
         return 1
     if not records:
         print("no telemetry records in " + ", ".join(files))
+        return 1
+    records = _filter_kind(records, kind, files)
+    if records is None:
         return 1
     print(summarize_records(records))
     if metrics:
@@ -223,17 +347,28 @@ def summarize_files(files: Sequence[str], *, metrics: bool = False) -> int:
     return 0
 
 
-def tail_files(files: Sequence[str], limit: int, *, metrics: bool = False) -> int:
+def tail_files(
+    files: Sequence[str],
+    limit: int,
+    *,
+    metrics: bool = False,
+    kind: str | None = None,
+) -> int:
     """Pretty-print the newest *limit* records across *files*.
 
     With ``metrics=True`` each tailed record that embeds a metrics
     snapshot is followed by that snapshot rendered as Prometheus text.
+    With *kind* set, only records of that kind are tailed — zero
+    matches prints a one-line "no matching records" message and exits 1.
     """
     records = _read_all(files)
     if records is None:
         return 1
     if not records:
         print("no telemetry records in " + ", ".join(files))
+        return 1
+    records = _filter_kind(records, kind, files)
+    if records is None:
         return 1
     for record in tail_records(records, limit):
         print(json.dumps(record, sort_keys=True))
@@ -346,17 +481,141 @@ def export_trace(
     return 0
 
 
+def ingest_files(files: Sequence[str], store_dir: str, *, strict: bool = False) -> int:
+    """Index telemetry shards into the run store at *store_dir*.
+
+    Prints the ingest report (new runs, deduplications, attached
+    anomalies); exits 1 only when a shard is unreadable or — with
+    ``strict=True`` — malformed.
+    """
+    from repro.obs.store import RunStore
+    from repro.obs.telemetry import TelemetryError
+
+    store = RunStore(store_dir)
+    try:
+        report = store.ingest(_expand(files), strict=strict)
+    except (OSError, TelemetryError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(f"{report.render()} into {store_dir}")
+    return 0
+
+
+def query_store_cli(
+    store_dir: str,
+    filter_tokens: Sequence[str],
+    *,
+    kind: str | None = None,
+    group_by: str | None = None,
+    stat: str = "slots",
+    as_json: bool = False,
+) -> int:
+    """Run one store query and print its rows (table or JSON).
+
+    Output is deterministic — the same store and query produce
+    bit-identical bytes across invocations — so query output can be
+    diffed or committed as a regression fixture.
+    """
+    from repro.obs.query import (
+        parse_filters,
+        query_rows_json,
+        render_rows,
+        run_query,
+    )
+    from repro.obs.store import RunStore
+    from repro.obs.telemetry import TelemetryError
+
+    try:
+        filters = parse_filters(filter_tokens)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    fields = [f for f in (group_by or "").split(",") if f]
+    try:
+        rows = run_query(
+            RunStore(store_dir),
+            filters=filters,
+            kind=kind,
+            group_by=fields,
+            stat=stat,
+        )
+    except (OSError, TelemetryError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if as_json:
+        print(query_rows_json(rows))
+    else:
+        print(render_rows(rows, stat=stat))
+    return 0
+
+
+def follow_cli(
+    path: str,
+    *,
+    poll_s: float = 0.2,
+    idle_exit_s: float | None = None,
+    max_records: int | None = None,
+) -> int:
+    """Live-tail *path*; exit 1 when anomalies or invalid lines appeared."""
+    from repro.obs.query import follow_file
+
+    return follow_file(
+        path,
+        poll_s=poll_s,
+        idle_exit_s=idle_exit_s,
+        max_records=max_records,
+    )
+
+
+def explain_file(
+    path: str, *, rule: str | None = None, index: int | None = None
+) -> int:
+    """Print the causal context report for a telemetry file's anomalies."""
+    from repro.obs.query import explain_records
+
+    try:
+        records = read_telemetry(path, strict=False)
+    except OSError as error:
+        print(f"{path}: {error.strerror or error}", file=sys.stderr)
+        return 1
+    report, code = explain_records(records, rule=rule, index=index)
+    print(report)
+    return code
+
+
 def dispatch(args: argparse.Namespace) -> int:
     """Route parsed obs arguments to their subcommand implementation."""
     command = args.obs_command
     if command == "validate":
         return validate_files(args.files)
     if command == "summary":
-        return summarize_files(args.files, metrics=args.metrics)
+        return summarize_files(args.files, metrics=args.metrics, kind=args.kind)
     if command == "tail":
-        return tail_files(args.files, args.limit, metrics=args.metrics)
+        return tail_files(
+            args.files, args.limit, metrics=args.metrics, kind=args.kind
+        )
     if command == "anomalies":
         return anomalies_files(args.files)
+    if command == "ingest":
+        return ingest_files(args.files, args.store, strict=args.strict)
+    if command == "query":
+        return query_store_cli(
+            args.store,
+            args.filters,
+            kind=args.kind,
+            group_by=args.group_by,
+            stat=args.stat,
+            as_json=args.json,
+        )
+    if command == "follow":
+        return follow_cli(
+            args.file,
+            poll_s=args.poll,
+            idle_exit_s=args.idle_exit,
+            max_records=args.max_records,
+        )
+    if command == "explain":
+        return explain_file(args.file, rule=args.rule, index=args.index)
     if command == "diff":
         return diff_files_cli(
             args.file_a,

@@ -1,0 +1,185 @@
+"""Provenance stamping: canonical config hashes and code versions.
+
+Every telemetry record carries a ``provenance`` block so a run is
+addressable by the triple **(config hash, seed, code version)** — the
+key the content-addressed run store (:mod:`repro.obs.store`) indexes
+by, and the key the ROADMAP's campaign-service result cache will reuse.
+
+The block has three fields::
+
+    {"config_hash": "9f2a...", "code_version": "ab12cd34ef56", "config": {...}}
+
+- ``config`` is the small, JSON-serializable description of *what was
+  run*: protocol/experiment/campaign identity, network shape, schedule
+  type, and engine backend.  The seed is deliberately **not** part of
+  the config — it stays the record's top-level ``seed`` field so the
+  same config hash covers every trial of a sweep.
+- ``config_hash`` is :func:`config_hash` of that dict: a 16-hex-char
+  BLAKE2b digest of its canonical JSON (sorted keys, compact
+  separators), so hashes are stable across dict insertion order,
+  Python version, and ``PYTHONHASHSEED``.
+- ``code_version`` identifies the code that ran: the git commit SHA
+  (12 hex chars, ``-dirty`` suffix when the working tree has local
+  modifications), falling back to ``pkg-<version>`` outside a git
+  checkout.  It is detected **once at import time** into
+  :data:`CODE_VERSION` so the record builders stay free of subprocess
+  and filesystem effects — stamping a record only reads a module
+  constant (lint rules R7/R9 see no io in the measurement path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Hex digest length of :func:`config_hash` (BLAKE2b, digest_size=8).
+CONFIG_HASH_HEX_CHARS = 16
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize *value* to canonical JSON (sorted keys, compact).
+
+    The canonical form is byte-stable across dict insertion order and
+    hash seeds, which makes it safe to hash.  ``allow_nan=False``
+    rejects NaN/Infinity — they have no JSON spelling and would make
+    equal-looking configs hash differently across serializers.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Hash a config dict to its 16-hex-char content address.
+
+    Two configs hash identically iff their canonical JSON is identical,
+    so key order never matters: ``config_hash({"a": 1, "b": 2}) ==
+    config_hash({"b": 2, "a": 1})``.
+    """
+    payload = canonical_json(dict(config)).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+def detect_code_version(root: str | Path | None = None) -> str:
+    """Identify the code under *root* (default: this package's checkout).
+
+    Returns the short git SHA (12 hex chars) of ``HEAD``, with a
+    ``-dirty`` suffix when the working tree differs from it, or the
+    ``pkg-<version>`` fallback when *root* is not inside a git
+    repository (or git itself is unavailable).  Every failure mode
+    falls back — this function never raises.
+    """
+    import subprocess
+
+    if root is None:
+        root = Path(__file__).resolve().parent
+    try:
+        probe = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if probe.returncode != 0:
+            return _fallback_version()
+        sha = probe.stdout.strip()
+        if not sha:
+            return _fallback_version()
+        status = subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        dirty = status.returncode == 0 and bool(status.stdout.strip())
+        return f"{sha}-dirty" if dirty else sha
+    except (OSError, subprocess.SubprocessError):
+        return _fallback_version()
+
+
+def _fallback_version() -> str:
+    """The ``pkg-<version>`` code version used outside a git checkout."""
+    from repro import __version__
+
+    return f"pkg-{__version__}"
+
+
+#: Code version of the running checkout, detected once at import time.
+#: Record builders read this constant instead of shelling out per
+#: record, keeping the measurement path effect-free (R7/R9) and the
+#: stamping cost at one dict construction.
+CODE_VERSION: str = detect_code_version()
+
+
+def provenance_block(
+    config: Mapping[str, Any], *, code_version: str | None = None
+) -> dict[str, Any]:
+    """Build the ``provenance`` field stamped onto telemetry records.
+
+    *config* is stored verbatim (as a plain dict) next to its hash so
+    the run store can answer field queries without a reverse lookup;
+    *code_version* defaults to the import-time :data:`CODE_VERSION`.
+    """
+    config = dict(config)
+    return {
+        "config_hash": config_hash(config),
+        "code_version": CODE_VERSION if code_version is None else code_version,
+        "config": config,
+    }
+
+
+def validate_provenance(value: Any) -> list[str]:
+    """Check a ``provenance`` block's shape; return the problems found.
+
+    Used by :func:`repro.obs.telemetry.validate_record` for records
+    that carry the optional block (records written before provenance
+    stamping existed simply omit it).
+    """
+    problems: list[str] = []
+    if not isinstance(value, dict):
+        return [f"provenance is {type(value).__name__}, expected object"]
+    digest = value.get("config_hash")
+    if (
+        not isinstance(digest, str)
+        or len(digest) != CONFIG_HASH_HEX_CHARS
+        or any(ch not in "0123456789abcdef" for ch in digest)
+    ):
+        problems.append(
+            f"provenance.config_hash is {digest!r}, expected "
+            f"{CONFIG_HASH_HEX_CHARS} lowercase hex chars"
+        )
+    version = value.get("code_version")
+    if not isinstance(version, str) or not version:
+        problems.append(
+            f"provenance.code_version is {version!r}, expected non-empty string"
+        )
+    config = value.get("config")
+    if not isinstance(config, dict):
+        problems.append(
+            f"provenance.config is {type(config).__name__}, expected object"
+        )
+    elif isinstance(digest, str) and digest and config_hash(config) != digest:
+        problems.append(
+            "provenance.config_hash does not match the embedded config"
+        )
+    return problems
+
+
+def run_key(record: Mapping[str, Any]) -> tuple[str, int, str] | None:
+    """The store key ``(config_hash, seed, code_version)`` of a record.
+
+    Returns ``None`` when the record carries no (well-formed)
+    provenance block — such records predate stamping and cannot be
+    content-addressed.
+    """
+    provenance = record.get("provenance")
+    seed = record.get("seed")
+    if not isinstance(provenance, dict) or not isinstance(seed, int):
+        return None
+    digest = provenance.get("config_hash")
+    version = provenance.get("code_version")
+    if not isinstance(digest, str) or not isinstance(version, str):
+        return None
+    return (digest, seed, version)

@@ -522,7 +522,14 @@ class SpanProbe(ProtocolProbe):
         return spans
 
     def summary(self) -> dict[str, Any]:
-        """Compact JSON span summary (telemetry ``spans`` field)."""
+        """Compact JSON span summary (telemetry ``spans`` field).
+
+        ``extents`` maps the run span and each phase span (when the
+        timetable is known) to its ``[start, end)`` slot interval, so a
+        consumer of the compact summary — e.g. ``repro obs explain``
+        joining an anomaly slot back to its enclosing span — can
+        recover the span path without the full span forest.
+        """
         summary: dict[str, Any] = {
             "slots": self._slots,
             "source": self._source,
@@ -531,6 +538,11 @@ class SpanProbe(ProtocolProbe):
                 name: self._phases[name].as_dict() for name in sorted(self._phases)
             },
             "clusters": len(self._clusters),
+            "extents": {
+                span.name: [span.start, span.end]
+                for span in self.spans()
+                if span.kind in ("run", "phase")
+            },
         }
         if self._source is not None:
             summary["tree"] = self.tree.stats()

@@ -16,6 +16,15 @@ R2 note: records carry **no wall-clock timestamps** — runs replay from
 ``(seed, scenario)``, and the only time-like fields are
 ``perf_counter`` durations, which are reporting, not state.  Order in
 the file is emission order.
+
+Every record built here is stamped with a ``provenance`` block
+(:mod:`repro.obs.provenance`): the canonical config hash, the
+import-time code version, and the config dict itself — the
+``(config_hash, seed, code_version)`` triple the content-addressed run
+store (:mod:`repro.obs.store`) indexes by.  Run records additionally
+carry ``backend`` (the resolved engine backend name) and, when the
+columnar kernel declined to engage, ``vector_fallback_reason`` — so
+queries can filter by execution path.
 """
 
 from __future__ import annotations
@@ -76,7 +85,9 @@ def validate_record(record: Any) -> list[str]:
     An empty list means the record is valid.  Checks the common header
     (``schema``, ``kind``, ``seed``), the per-kind required fields and
     their types, a run record's ``outcome`` vocabulary, and the shape
-    of the optional ``counters`` / ``timings`` attachments.
+    of the optional ``counters`` / ``timings`` / ``provenance``
+    attachments.  The ``provenance`` block is optional (records written
+    before stamping existed omit it) but validated when present.
     """
     problems: list[str] = []
     if not isinstance(record, dict):
@@ -157,6 +168,19 @@ def validate_record(record: Any) -> list[str]:
         fast_path = record.get("fast_path")
         if fast_path is not None and not isinstance(fast_path, bool):
             problems.append(f"fast_path is {fast_path!r}, expected bool")
+        backend = record.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            problems.append(f"backend is {backend!r}, expected string")
+        reason = record.get("vector_fallback_reason")
+        if reason is not None and not isinstance(reason, str):
+            problems.append(
+                f"vector_fallback_reason is {reason!r}, expected string"
+            )
+    provenance = record.get("provenance")
+    if provenance is not None:
+        from repro.obs.provenance import validate_provenance
+
+        problems.extend(validate_provenance(provenance))
     return problems
 
 
@@ -178,6 +202,8 @@ def run_record(
     resources: Mapping[str, float] | None = None,
     elapsed_s: float | None = None,
     fast_path: bool | None = None,
+    backend: str | None = None,
+    vector_fallback_reason: str | None = None,
     extra: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a ``kind="run"`` manifest for one engine run.
@@ -192,9 +218,17 @@ def run_record(
     :meth:`repro.obs.metrics.ResourceSampler.delta` mapping; timing
     context rides along as ``elapsed_s`` (harness-measured
     ``perf_counter`` duration of the engine run) and ``fast_path``
-    (whether the fast-path kernel was eligible).  *extra* keys are
-    merged last (they must not shadow schema fields).
+    (whether the fast-path kernel was eligible).  *backend* names the
+    resolved engine backend (defaults to the process-wide default) and
+    *vector_fallback_reason* records why the columnar kernel declined
+    to engage, when it did.  *extra* keys are merged last (they must
+    not shadow schema fields).  The record's ``provenance`` block
+    hashes ``(protocol, network shape, schedule type, backend)``.
     """
+    if backend is None:
+        from repro.sim.backends.base import default_backend_name
+
+        backend = default_backend_name()
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "run",
@@ -225,6 +259,23 @@ def run_record(
         record["elapsed_s"] = round(float(elapsed_s), 6)
     if fast_path is not None:
         record["fast_path"] = bool(fast_path)
+    record["backend"] = backend
+    if vector_fallback_reason is not None:
+        record["vector_fallback_reason"] = vector_fallback_reason
+    from repro.obs.provenance import provenance_block
+
+    record["provenance"] = provenance_block(
+        {
+            "kind": "run",
+            "protocol": protocol,
+            "n": record["n"],
+            "c": record["c"],
+            "k": record["k"],
+            "universe": record["universe"],
+            "schedule": type(network.schedule).__name__,
+            "backend": backend,
+        }
+    )
     if extra:
         for key, value in extra.items():
             if key in record:
@@ -252,8 +303,12 @@ def experiment_record(
     as ``timings``; when *spans* exposes ``summary()`` (or is already a
     mapping) it rides along as ``spans``; *metrics* (a registry or its
     snapshot) and *resources* (a sampler delta) embed like they do on
-    run records.
+    run records.  The ``provenance`` block hashes ``(experiment id,
+    trials, fast, backend)``.
     """
+    from repro.obs.provenance import provenance_block
+    from repro.sim.backends.base import default_backend_name
+
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "experiment",
@@ -263,6 +318,15 @@ def experiment_record(
         "fast": fast,
         "elapsed_s": round(elapsed_s, 6),
         "rows": rows,
+        "provenance": provenance_block(
+            {
+                "kind": "experiment",
+                "experiment": experiment_id,
+                "trials": trials,
+                "fast": fast,
+                "backend": default_backend_name(),
+            }
+        ),
     }
     if profiler is not None and hasattr(profiler, "as_dict"):
         record["timings"] = profiler.as_dict()
@@ -292,8 +356,13 @@ def anomaly_record(
 
     Emitted by :func:`repro.obs.watchdog.flush_anomalies`; *detail*
     carries the watchdog's structured context, *protocol* names the run
-    the anomaly was observed in (when known).
+    the anomaly was observed in (when known).  The ``provenance`` block
+    hashes ``(rule, protocol)`` — anomalies are stamped for schema
+    uniformity, but the run store attaches them to the primary record
+    they follow rather than addressing them on their own.
     """
+    from repro.obs.provenance import provenance_block
+
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "anomaly",
@@ -301,6 +370,9 @@ def anomaly_record(
         "rule": rule,
         "slot": slot,
         "message": message,
+        "provenance": provenance_block(
+            {"kind": "anomaly", "rule": rule, "protocol": protocol}
+        ),
     }
     if protocol is not None:
         record["protocol"] = protocol
@@ -318,12 +390,23 @@ def campaign_record(
     mean: float,
     elapsed_s: float,
     metrics: Any = None,
+    backend: str | None = None,
 ) -> dict[str, Any]:
     """Build a ``kind="campaign"`` manifest for one grid point.
 
     *metrics* (a registry or its snapshot) embeds the grid point's
     consolidated instrument state like it does on run records.
+    *backend* names the engine backend the point's trials ran under
+    (defaults to the process-wide default).  The ``provenance`` block
+    hashes ``(campaign name, grid point, trials, backend)`` — distinct
+    grid points of one campaign therefore get distinct config hashes
+    even though they share the root seed.
     """
+    from repro.obs.provenance import provenance_block
+    from repro.sim.backends.base import default_backend_name
+
+    if backend is None:
+        backend = default_backend_name()
     record: dict[str, Any] = {
         "schema": TELEMETRY_SCHEMA_VERSION,
         "kind": "campaign",
@@ -333,6 +416,15 @@ def campaign_record(
         "trials": trials,
         "mean": float(mean),
         "elapsed_s": round(elapsed_s, 6),
+        "provenance": provenance_block(
+            {
+                "kind": "campaign",
+                "campaign": name,
+                "point": dict(point),
+                "trials": trials,
+                "backend": backend,
+            }
+        ),
     }
     if metrics is not None:
         record["metrics"] = (

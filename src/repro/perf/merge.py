@@ -37,6 +37,7 @@ def merge_telemetry(
     *,
     strict: bool = True,
     remove: bool = False,
+    dedupe: bool = False,
 ) -> int:
     """Fold worker telemetry files into *sink*; return records merged.
 
@@ -44,16 +45,42 @@ def merge_telemetry(
     files are skipped (a worker that ran no instrumented work writes
     nothing).  With ``remove=True`` each worker file is deleted after
     its records are safely through the sink.
+
+    With ``dedupe=True`` the merge is provenance-aware: a record whose
+    store key ``(config_hash, seed, code_version)`` *and* volatile-free
+    content were already merged in this call is skipped — so merging
+    overlapping shards (a retried worker, a re-run partition) yields
+    each stored run once, matching the run store's first-write-wins
+    semantics.  Records without a provenance block never dedupe, and
+    distinct anomalies of one run survive because content is part of
+    the key.
     """
+    from repro.obs.provenance import canonical_json, run_key
+
     merged = 0
+    seen: set[tuple[tuple[str, int, str], str]] = set()
     for path in paths:
         path = Path(path)
         if not path.exists():
             continue
         records: list[dict[str, Any]] = read_telemetry(path, strict=strict)
         for record in records:
+            if dedupe:
+                key = run_key(record)
+                if key is not None:
+                    content = canonical_json(
+                        {
+                            name: value
+                            for name, value in record.items()
+                            if name not in ("elapsed_s", "timings", "resources")
+                        }
+                    )
+                    fingerprint = (key, content)
+                    if fingerprint in seen:
+                        continue
+                    seen.add(fingerprint)
             sink.emit(record)
-        merged += len(records)
+            merged += 1
         if remove:
             os.remove(path)
     return merged

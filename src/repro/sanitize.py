@@ -56,6 +56,14 @@ CAPTURE_SCHEMA = "sanitize-capture-1"
 #: host facts), stripped before the bit-diff.
 _VOLATILE_FIELDS = ("elapsed_s", "resources", "timings")
 
+#: Telemetry fields that legitimately differ across the sanitizer's own
+#: perturbed conditions — the backend check runs ``exact`` against
+#: ``vector-replay``, so execution-identity fields (``backend``,
+#: ``fast_path``, ``vector_fallback_reason``) and the provenance block
+#: (whose config hash includes the backend) must not count as
+#: divergence.  Stripped alongside the volatile fields.
+_CONDITION_FIELDS = ("backend", "fast_path", "vector_fallback_reason", "provenance")
+
 #: The perturbations ``sanitize`` knows how to apply, in run order.
 CHECKS = ("hashseed", "jobs", "backend")
 
@@ -122,7 +130,7 @@ def _normalize_telemetry(record: Mapping[str, Any]) -> dict[str, Any]:
     normalized = {
         key: _canonical(value)
         for key, value in record.items()
-        if key not in _VOLATILE_FIELDS
+        if key not in _VOLATILE_FIELDS and key not in _CONDITION_FIELDS
     }
     metrics = normalized.get("metrics")
     if isinstance(metrics, dict) and isinstance(metrics.get("metrics"), list):
